@@ -1,0 +1,115 @@
+// Ablation (ours): does model-driven tuning actually matter?
+//
+//  (a) Parameter sensitivity: perturb the fitted contention slope and the
+//      remote-transfer cost by +/-50%, re-optimize the tree, and measure
+//      the resulting broadcast on the *true* machine. If the tuned tree
+//      were insensitive, the capability model would be over-engineered.
+//  (b) Fixed-shape baselines: measured cost of classic tree shapes
+//      (flat, binary, binomial-ish via fanout-(k) regular trees) vs the
+//      model-tuned tree.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "coll/harness.hpp"
+#include "coll/runtime.hpp"
+#include "coll/tuned.hpp"
+#include "model/fit.hpp"
+
+using namespace capmem;
+using namespace capmem::sim;
+using namespace capmem::model;
+
+namespace {
+
+// Measures a broadcast over a *given* tree (bypassing the optimizer).
+double measure_tree(const MachineConfig& cfg, const TunedTree& tree,
+                    int nthreads, int iters) {
+  Machine machine(cfg);
+  coll::World w;
+  w.machine = &machine;
+  w.slots = make_schedule(cfg, Schedule::kScatter, nthreads);
+  w.place = Placement{MemKind::kMCDRAM, std::nullopt};
+  coll::Recorder rec(nthreads, iters);
+  coll::TunedBroadcast impl(w, tree);
+  for (int r = 0; r < nthreads; ++r) {
+    machine.add_thread(w.slots[static_cast<std::size_t>(r)],
+                       impl.program(r, iters, &rec));
+  }
+  machine.run();
+  CAPMEM_CHECK(rec.errors() == 0);
+  return rec.per_iter_max().median;
+}
+
+// Regular tree: every node has fanout k (sizes balanced).
+TreeNode regular_tree(int n, int k) {
+  TreeNode node;
+  node.size = n;
+  int remaining = n - 1;
+  for (int i = 0; i < k && remaining > 0; ++i) {
+    const int share = (remaining + (k - i) - 1) / (k - i);
+    node.children.push_back(regular_tree(share, k));
+    remaining -= share;
+  }
+  return node;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int fit_iters = static_cast<int>(cli.get_int("fit_iters", 21));
+  const int iters = static_cast<int>(cli.get_int("iters", 51));
+  const int nthreads = static_cast<int>(cli.get_int("threads", 64));
+  cli.finish();
+
+  const MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
+  bench::SuiteOptions so;
+  so.run.iters = fit_iters;
+  const CapabilityModel m = fit_cache_model(cfg, so);
+  const int tiles = cfg.active_tiles;
+
+  Table t("Ablation (a) — tuning under perturbed model parameters");
+  t.set_header({"model variant", "root fanout", "depth", "predicted ns",
+                "measured bcast ns"});
+  struct Variant {
+    const char* name;
+    double beta_scale;
+    double rr_scale;
+  };
+  for (const Variant v : {Variant{"fitted", 1.0, 1.0},
+                          Variant{"beta x0.5", 0.5, 1.0},
+                          Variant{"beta x2", 2.0, 1.0},
+                          Variant{"R_R x0.5", 1.0, 0.5},
+                          Variant{"R_R x2", 1.0, 2.0},
+                          Variant{"no contention", 0.0, 1.0}}) {
+    CapabilityModel mv = m;
+    mv.contention.beta *= v.beta_scale;
+    mv.r_remote *= v.rr_scale;
+    const TunedTree tree =
+        optimize_tree(mv, tiles, TreeKind::kBroadcast, MemKind::kMCDRAM);
+    const double measured = measure_tree(cfg, tree, nthreads, iters);
+    t.add_row({v.name, fmt_num(tree.root.fanout(), 0),
+               fmt_num(tree_depth(tree.root), 0),
+               fmt_num(tree.predicted_ns, 0), fmt_num(measured, 0)});
+  }
+  benchbin::emit(t);
+
+  Table t2("Ablation (b) — fixed tree shapes vs the model-tuned tree");
+  t2.set_header({"shape", "depth", "measured bcast ns"});
+  {
+    const TunedTree tuned =
+        optimize_tree(m, tiles, TreeKind::kBroadcast, MemKind::kMCDRAM);
+    t2.add_row({"model-tuned", fmt_num(tree_depth(tuned.root), 0),
+                fmt_num(measure_tree(cfg, tuned, nthreads, iters), 0)});
+    for (int k : {1, 2, 4, 8, tiles - 1}) {
+      TunedTree fixed;
+      fixed.root = regular_tree(tiles, k);
+      const std::string name =
+          k == tiles - 1 ? "flat" : "regular k=" + std::to_string(k);
+      t2.add_row({name, fmt_num(tree_depth(fixed.root), 0),
+                  fmt_num(measure_tree(cfg, fixed, nthreads, iters), 0)});
+    }
+  }
+  benchbin::emit(t2);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared scaffolding for the bench binaries: every target prints the
+// paper-style table to stdout (aligned text) followed by a CSV block, so
+// the output is both human-checkable against the paper and plot-ready.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "bench/measurement.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/config.hpp"
+
+namespace capmem::benchbin {
+
+/// Prints a table twice: aligned text and CSV (separated by a marker).
+inline void emit(const Table& t) {
+  t.print(std::cout);
+  std::cout << "--- csv ---\n";
+  t.print_csv(std::cout);
+  std::cout << '\n';
+}
+
+/// Formats "median [q1,q3]" for boxplot-style cells.
+inline std::string box_cell(const Summary& s, int prec = 0) {
+  return fmt_num(s.median, prec) + " [" + fmt_num(s.q1, prec) + "," +
+         fmt_num(s.q3, prec) + "]";
+}
+
+/// Adds a Series to a table as rows (x, median, q1, q3, min, max).
+inline void series_rows(Table& t, const bench::Series& s,
+                        const std::string& label, int prec = 1) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    t.add_row({label, fmt_num(s.xs[i], 0), fmt_num(s.ys[i].median, prec),
+               fmt_num(s.ys[i].q1, prec), fmt_num(s.ys[i].q3, prec),
+               fmt_num(s.ys[i].min, prec), fmt_num(s.ys[i].max, prec)});
+  }
+}
+
+}  // namespace capmem::benchbin

@@ -1,0 +1,14 @@
+// Extension bench: model-tuned allreduce (reduce + broadcast composition)
+// vs flat-OpenMP-style and binomial-MPI-style baselines — the natural next
+// collective after the paper's three, built entirely from the same fitted
+// capability model.
+#include "fig_collective_common.hpp"
+
+int main(int argc, char** argv) {
+  using capmem::coll::Algo;
+  return capmem::benchbin::run_collective_figure(
+      argc, argv, Algo::kTunedAllreduce, Algo::kOmpAllreduce,
+      Algo::kMpiAllreduce, "Extension — allreduce",
+      "No paper reference (extension); expect roughly reduce+broadcast "
+      "composition of Figures 7 and 8");
+}

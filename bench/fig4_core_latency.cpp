@@ -1,0 +1,58 @@
+// Reproduces paper Figure 4: latency of cache-line transfers between core 0
+// and every other core in SNC4-flat mode, for states M, E and I.
+#include <iostream>
+
+#include "bench/c2c.hpp"
+#include "bench_common.hpp"
+#include "common/ascii_plot.hpp"
+
+using namespace capmem;
+using namespace capmem::sim;
+using namespace capmem::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int iters = static_cast<int>(cli.get_int("iters", 31));
+  const std::string mode_s = cli.get_string("mode", "SNC4");
+  cli.finish();
+
+  const MachineConfig cfg =
+      knl7210(cluster_mode_from_string(mode_s), MemoryMode::kFlat);
+  C2COptions opts;
+  opts.run.iters = iters;
+  const auto series = c2c_latency_per_core(
+      cfg, /*origin=*/0, {PrepState::kM, PrepState::kE, PrepState::kI},
+      opts);
+
+  Table t("Figure 4 — per-core transfer latency, core 0 reading (" + mode_s +
+          "-flat)");
+  t.set_header({"state", "core", "median ns", "q1", "q3", "min", "max"});
+  for (const auto& s : series) benchbin::series_rows(t, s, s.name, 1);
+  benchbin::emit(t);
+  {
+    std::vector<PlotSeries> plots;
+    for (const auto& s : series) {
+      PlotSeries ps{s.name, s.xs, {}};
+      for (const auto& y : s.ys) ps.ys.push_back(y.median);
+      plots.push_back(std::move(ps));
+    }
+    PlotOptions po;
+    po.title = "Figure 4 — per-core read latency";
+    po.x_label = "core";
+    po.y_label = "ns";
+    ascii_plot(std::cout, plots, po);
+  }
+
+  // Shape summary: the paper highlights per-quadrant latency steps.
+  for (const auto& s : series) {
+    std::vector<double> meds;
+    for (const auto& y : s.ys) meds.push_back(y.median);
+    const Summary sum = summarize(meds);
+    std::cout << "state " << s.name << ": median " << fmt_num(sum.median, 0)
+              << " ns, spread " << fmt_num(sum.min, 0) << "-"
+              << fmt_num(sum.max, 0) << " ns\n";
+  }
+  std::cout << "Paper reference: M ~107-122 ns, E ~98-114 ns, I (memory) "
+               "~130-175 ns; same-tile cores far cheaper\n";
+  return 0;
+}

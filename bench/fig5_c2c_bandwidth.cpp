@@ -1,0 +1,75 @@
+// Reproduces paper Figure 5: bandwidth of cache-to-cache copies in
+// SNC4-cache mode vs message size (64 B - 256 KB), for M and E states, with
+// the remote buffer in the same tile, the same quadrant, and a remote
+// quadrant.
+#include <iostream>
+
+#include "bench/multiline.hpp"
+#include "bench_common.hpp"
+#include "sim/topology.hpp"
+
+using namespace capmem;
+using namespace capmem::sim;
+using namespace capmem::bench;
+
+namespace {
+// Picks a victim core in the probe's quadrant (but another tile), and one
+// in a remote quadrant — SNC modes expose the domains, as on real KNL.
+int core_in_domain(const MachineConfig& cfg, const Topology& topo,
+                   int want_domain, int avoid_tile) {
+  for (int t = 0; t < topo.active_tiles(); ++t) {
+    if (t != avoid_tile &&
+        topo.domain_of_tile(t, cfg.cluster) == want_domain) {
+      return topo.first_core_of_tile(t);
+    }
+  }
+  return -1;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int iters = static_cast<int>(cli.get_int("iters", 21));
+  cli.finish();
+
+  MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kCache);
+  cfg.scale_memory(64);
+  const Topology topo(cfg);
+  const int probe = 0;
+  const int probe_tile = 0;
+  const int probe_domain = topo.domain_of_tile(probe_tile, cfg.cluster);
+
+  struct Placement2 {
+    const char* name;
+    int victim;
+  };
+  std::vector<Placement2> places;
+  places.push_back({"same-tile", 1});
+  places.push_back(
+      {"same-quadrant", core_in_domain(cfg, topo, probe_domain, probe_tile)});
+  places.push_back(
+      {"remote-quadrant",
+       core_in_domain(cfg, topo, (probe_domain + 2) % 4, probe_tile)});
+
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = 64; s <= KiB(256); s *= 2) sizes.push_back(s);
+
+  Table t("Figure 5 — c2c copy bandwidth vs size (SNC4-cache) [GB/s]");
+  t.set_header({"series", "bytes", "median", "q1", "q3", "min", "max"});
+  MultilineOptions opts;
+  opts.run.iters = iters;
+  for (PrepState st : {PrepState::kM, PrepState::kE}) {
+    for (const auto& p : places) {
+      if (p.victim < 0) continue;
+      const Series s = multiline_size_sweep(cfg, p.victim, probe, sizes,
+                                            XferOp::kCopy, st, opts);
+      benchbin::series_rows(
+          t, s, std::string(to_string(st)) + "-" + p.name, 2);
+    }
+  }
+  benchbin::emit(t);
+  std::cout << "Paper reference: local (tile) copies fastest while data "
+               "fits in cache, E > M within the tile, remote placements "
+               "~6-7.5 GB/s and insensitive to quadrant\n";
+  return 0;
+}

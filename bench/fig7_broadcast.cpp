@@ -1,0 +1,11 @@
+// Reproduces paper Figure 7: broadcast performance in SNC4-flat (MCDRAM),
+// model-tuned tree + min-max band vs OpenMP/MPI baselines.
+#include "fig_collective_common.hpp"
+
+int main(int argc, char** argv) {
+  using capmem::coll::Algo;
+  return capmem::benchbin::run_collective_figure(
+      argc, argv, Algo::kTunedBroadcast, Algo::kOmpBroadcast,
+      Algo::kMpiBroadcast, "Figure 7 — broadcast",
+      "Paper reference: tuned up to 3x over OpenMP and 13x over MPI");
+}

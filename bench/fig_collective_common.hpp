@@ -1,0 +1,111 @@
+// Shared driver for Figures 6 (barrier), 7 (broadcast) and 8 (reduce):
+// thread sweep in SNC4-flat with cells in MCDRAM, tuned algorithm with its
+// min-max model band vs the OpenMP-style and MPI-style baselines, for both
+// pinning schedules (filling tiles / scatter).
+#pragma once
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "coll/harness.hpp"
+#include "common/ascii_plot.hpp"
+#include "model/fit.hpp"
+
+namespace capmem::benchbin {
+
+inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
+                                 coll::Algo omp, coll::Algo mpi,
+                                 const char* figure_name,
+                                 const char* paper_ref) {
+  using namespace capmem::sim;
+  Cli cli(argc, argv);
+  const int iters = static_cast<int>(
+      cli.get_int("iters", 101, "iterations (paper: 1000)"));
+  const int fit_iters =
+      static_cast<int>(cli.get_int("fit_iters", 31, "model-fit iterations"));
+  const std::string mode_s = cli.get_string("mode", "SNC4");
+  cli.finish();
+
+  const MachineConfig cfg =
+      knl7210(cluster_mode_from_string(mode_s), MemoryMode::kFlat);
+  bench::SuiteOptions sopts;
+  sopts.run.iters = fit_iters;
+  const model::CapabilityModel m = model::fit_cache_model(cfg, sopts);
+
+  const std::vector<int> threads{2, 4, 8, 16, 32, 64, 128, 256};
+  const coll::Algo algos[3] = {tuned, omp, mpi};
+
+  for (Schedule sched : {Schedule::kFillTiles, Schedule::kScatter}) {
+    Table t(std::string(figure_name) + " — " + to_string(sched) +
+            " (SNC4-flat, MCDRAM cells) [ns]");
+    t.set_header({"algorithm", "threads", "median", "q1", "q3", "min", "max",
+                  "model best", "model worst"});
+    std::size_t total_errors = 0;
+    std::vector<PlotSeries> plots;
+    PlotSeries band_lo{"model best", {}, {}};
+    PlotSeries band_hi{"model worst", {}, {}};
+    for (coll::Algo a : algos) {
+      PlotSeries ps{coll::to_string(a), {}, {}};
+      for (int n : threads) {
+        if (n > cfg.hw_threads()) continue;
+        coll::HarnessOptions ho;
+        ho.iters = iters;
+        ho.sched = sched;
+        const coll::CollResult r =
+            coll::run_collective(cfg, a, n, &m, ho);
+        total_errors += r.errors;
+        ps.xs.push_back(n);
+        ps.ys.push_back(r.per_iter_max.median);
+        if (r.has_band) {
+          band_lo.xs.push_back(n);
+          band_lo.ys.push_back(r.band.best_ns);
+          band_hi.xs.push_back(n);
+          band_hi.ys.push_back(r.band.worst_ns);
+        }
+        t.add_row({coll::to_string(a), fmt_num(n, 0),
+                   fmt_num(r.per_iter_max.median, 0),
+                   fmt_num(r.per_iter_max.q1, 0),
+                   fmt_num(r.per_iter_max.q3, 0),
+                   fmt_num(r.per_iter_max.min, 0),
+                   fmt_num(r.per_iter_max.max, 0),
+                   r.has_band ? fmt_num(r.band.best_ns, 0) : "-",
+                   r.has_band ? fmt_num(r.band.worst_ns, 0) : "-"});
+      }
+      plots.push_back(std::move(ps));
+    }
+    plots.push_back(std::move(band_lo));
+    plots.push_back(std::move(band_hi));
+    emit(t);
+    PlotOptions po;
+    po.log_x = true;
+    po.log_y = true;
+    po.title = std::string(figure_name) + " (" + to_string(sched) + ")";
+    po.x_label = "threads";
+    po.y_label = "ns (log)";
+    ascii_plot(std::cout, plots, po);
+    if (total_errors != 0) {
+      std::cout << "!! validation errors: " << total_errors << "\n";
+      return 1;
+    }
+    // Speedup summary at the paper's headline points.
+    for (int n : {64, 256}) {
+      if (n > cfg.hw_threads()) continue;
+      coll::HarnessOptions ho;
+      ho.iters = iters;
+      ho.sched = sched;
+      const double tu =
+          coll::run_collective(cfg, tuned, n, &m, ho).per_iter_max.median;
+      const double om =
+          coll::run_collective(cfg, omp, n, &m, ho).per_iter_max.median;
+      const double mp =
+          coll::run_collective(cfg, mpi, n, &m, ho).per_iter_max.median;
+      std::cout << "speedup @" << n << " threads (" << to_string(sched)
+                << "): " << fmt_num(om / tu, 1) << "x over OpenMP, "
+                << fmt_num(mp / tu, 1) << "x over MPI\n";
+    }
+  }
+  std::cout << paper_ref << "\n";
+  return 0;
+}
+
+}  // namespace capmem::benchbin

@@ -1,0 +1,87 @@
+// Reproduces paper Table II: memory benchmark results — latency plus
+// copy/read/write/triad bandwidth (randomized-NT medians and STREAM-style
+// peaks) for all five cluster modes, in flat and cache memory mode.
+//
+// Cache mode runs on a memory-scaled machine (MCDRAM cache capacity scaled
+// by --cache_scale) so the footprint/capacity ratio of the randomized
+// protocol matches a realistically loaded memory-side cache.
+#include <iostream>
+
+#include "bench/suite.hpp"
+#include "bench_common.hpp"
+
+using namespace capmem;
+using namespace capmem::sim;
+using namespace capmem::bench;
+
+namespace {
+
+void stream_rows(Table& t, const std::vector<SuiteResults>& results,
+                 bool mcdram_rows) {
+  const char* opn[4] = {"Copy", "Read", "Write", "Triad"};
+  const char* kind = mcdram_rows ? "MCDRAM" : "DRAM";
+  for (int oi = 0; oi < 4; ++oi) {
+    std::vector<std::string> cells{std::string("BW ") + opn[oi] + " " +
+                                   kind + " NT/peak [GB/s]"};
+    for (const auto& r : results) {
+      const int ki = mcdram_rows ? 1 : 0;
+      if (mcdram_rows && !r.has_mcdram_streams) {
+        cells.push_back("-");
+        continue;
+      }
+      cells.push_back(fmt_num(r.stream[oi][ki].nt_random.gbps.median, 0) +
+                      " / " +
+                      fmt_num(r.stream[oi][ki].stream_peak.peak_gbps, 0));
+    }
+    t.add_row(cells);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int iters = static_cast<int>(
+      cli.get_int("iters", 31, "latency iterations (paper: 1000)"));
+  const bool fast = cli.get_flag("fast", false, "smaller stream configs");
+  const std::uint64_t cache_scale = static_cast<std::uint64_t>(cli.get_int(
+      "cache_scale", 64,
+      "memory scale divisor for cache-mode runs (footprint realism)"));
+  cli.finish();
+
+  for (MemoryMode mem : {MemoryMode::kFlat, MemoryMode::kCache}) {
+    std::vector<SuiteResults> results;
+    for (ClusterMode mode : all_cluster_modes()) {
+      MachineConfig cfg = knl7210(mode, mem);
+      if (mem == MemoryMode::kCache) cfg.scale_memory(cache_scale);
+      SuiteOptions opts;
+      opts.run.iters = iters;
+      opts.fast = fast;
+      results.push_back(run_suite(cfg, opts));
+    }
+
+    Table t(std::string("Table II — memory (") + to_string(mem) + " mode)");
+    t.set_header({"row", "SNC4", "SNC2", "QUAD", "HEM", "A2A"});
+    {
+      std::vector<std::string> cells{"Latency DRAM [ns]"};
+      for (const auto& r : results)
+        cells.push_back(fmt_num(r.mem_lat_dram.median, 0));
+      t.add_row(cells);
+    }
+    if (mem == MemoryMode::kFlat) {
+      std::vector<std::string> cells{"Latency MCDRAM [ns]"};
+      for (const auto& r : results)
+        cells.push_back(
+            r.mem_lat_mcdram ? fmt_num(r.mem_lat_mcdram->median, 0) : "-");
+      t.add_row(cells);
+    }
+    stream_rows(t, results, /*mcdram_rows=*/false);
+    if (mem == MemoryMode::kFlat) stream_rows(t, results, true);
+    benchbin::emit(t);
+  }
+  std::cout
+      << "Paper reference (QUAD flat): lat 140/167 | DRAM 70/77/36/74 | "
+         "MCDRAM 333/314/171/340; cache mode: lat 166, copy 175, read 124, "
+         "write 72, triad 296\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Application-assessment walkthrough (the paper's second use case): run the
+// parallel bitonic merge sort under both memories, compare with the sort
+// model's predictions, and reproduce the paper's counter-intuitive finding
+// that the 5x-bandwidth MCDRAM does not speed this "memory-bound" sort up.
+//
+//   $ ./sort_explorer --bytes_mb=16 --threads=64
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "model/efficiency.hpp"
+#include "model/fit.hpp"
+#include "sort/harness.hpp"
+
+using namespace capmem;
+using namespace capmem::sim;
+using namespace capmem::sort;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::uint64_t bytes =
+      MiB(static_cast<std::uint64_t>(cli.get_int("bytes_mb", 16)));
+  const int threads = static_cast<int>(cli.get_int("threads", 64));
+  cli.finish();
+
+  const MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
+  bench::SuiteOptions sopts;
+  sopts.run.iters = 21;
+  model::CapabilityModel caps = model::fit_cache_model(cfg, sopts);
+  // Minimal bandwidth anchor (copy at 1 / saturated thread counts).
+  for (int ki = 0; ki < 2; ++ki) {
+    const MemKind kind = ki == 0 ? MemKind::kDDR : MemKind::kMCDRAM;
+    bench::StreamConfig sc;
+    sc.kind = kind;
+    sc.run.iters = 5;
+    sc.buffer_bytes = KiB(256);
+    sc.nthreads = 1;
+    const double one =
+        bench::stream_bench(cfg, bench::StreamOp::kCopy, sc).gbps.median;
+    sc.nthreads = kind == MemKind::kDDR ? 16 : cfg.cores();
+    const double agg =
+        bench::stream_bench(cfg, bench::StreamOp::kCopy, sc).gbps.median;
+    auto& law = kind == MemKind::kDDR ? caps.bw_dram : caps.bw_mcdram;
+    law.per_thread_gbps = one / 2.0;
+    law.aggregate_gbps = agg / 2.0;
+  }
+  std::cout << "bandwidth law: DRAM "
+            << fmt_num(caps.bw_dram.per_thread_gbps, 1) << " GB/s/thread -> "
+            << fmt_num(caps.bw_dram.aggregate_gbps, 0) << " GB/s; MCDRAM "
+            << fmt_num(caps.bw_mcdram.per_thread_gbps, 1) << " -> "
+            << fmt_num(caps.bw_mcdram.aggregate_gbps, 0) << "\n\n";
+
+  SortOptions so;
+  const model::SortModel sm =
+      make_sort_model(cfg, caps, MemKind::kMCDRAM, {1, 4, 16, 64}, so);
+
+  Table t("sorting " + std::to_string(bytes / MiB(1)) + " MB with " +
+          std::to_string(threads) + " threads");
+  t.set_header({"memory", "measured ms", "model (BW) ms", "model (lat) ms",
+                "verified"});
+  double per_kind[2] = {0, 0};
+  for (int ki = 0; ki < 2; ++ki) {
+    const MemKind kind = ki == 0 ? MemKind::kDDR : MemKind::kMCDRAM;
+    SortOptions o = so;
+    o.kind = kind;
+    const SortRun run = parallel_merge_sort(cfg, bytes, threads, o);
+    per_kind[ki] = run.total_ns;
+    t.add_row({to_string(kind), fmt_num(run.total_ns / 1e6, 2),
+               fmt_num(sm.predict(bytes, threads, kind, true) / 1e6, 2),
+               fmt_num(sm.predict(bytes, threads, kind, false) / 1e6, 2),
+               run.sorted_ok && run.checksum_ok ? "yes" : "NO"});
+    // Resource-efficiency assessment from the run's event counters — the
+    // paper's "how efficiently does the application use the memory
+    // subsystem" question, quantified.
+    const model::EfficiencyReport rep = model::assess(
+        caps, run.counters, run.total_ns, threads, kind);
+    std::cout << "  " << to_string(kind) << ": " << rep.verdict << "\n";
+  }
+  std::cout << '\n';
+  t.print(std::cout);
+
+  const double gain = per_kind[0] / per_kind[1];
+  std::cout << "\nMCDRAM speedup over DRAM: " << fmt_num(gain, 2) << "x\n";
+  std::cout << "The model explains why (paper §V.B.3): only the first merge "
+               "stages involve all\n"
+               "cores; the thread count then halves per stage until a single "
+               "thread works at\n"
+               "~" << fmt_num(caps.bw_dram.per_thread_gbps * 2, 0)
+            << " GB/s on either memory — so the 5x aggregate bandwidth of "
+               "MCDRAM is\n"
+               "mostly unusable, while its higher latency still costs.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Model-tuning walkthrough (the paper's first use case): fit the capability
+// model, derive the optimal broadcast/reduce tree and dissemination barrier
+// for a chosen thread count, then validate the predictions by running the
+// tuned algorithms — and the naive baselines — on the simulated machine.
+//
+//   $ ./tune_collectives --threads=64 --cluster=SNC4
+#include <iostream>
+
+#include "coll/harness.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "model/fit.hpp"
+
+using namespace capmem;
+using namespace capmem::sim;
+using namespace capmem::model;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int threads = static_cast<int>(cli.get_int("threads", 64));
+  const std::string cluster = cli.get_string("cluster", "SNC4");
+  const int iters = static_cast<int>(cli.get_int("iters", 101));
+  cli.finish();
+
+  const MachineConfig cfg =
+      knl7210(cluster_mode_from_string(cluster), MemoryMode::kFlat);
+  bench::SuiteOptions sopts;
+  sopts.run.iters = 21;
+  const CapabilityModel m = fit_cache_model(cfg, sopts);
+
+  // What the optimizer decides, and why.
+  const auto d = optimize_dissemination(m, threads, MemKind::kMCDRAM);
+  std::cout << "barrier: dissemination with m=" << d.m << ", r=" << d.rounds
+            << " rounds (predicted " << fmt_num(d.predicted_ns, 0)
+            << " ns)\n";
+  std::cout << "  cost law: r*(R_I + m*R_R); larger m trades rounds for "
+               "per-round transfers\n\n";
+  const ThreadLayout lay = layout_for(threads, cfg.active_tiles,
+                                      cfg.cores_per_tile *
+                                          cfg.threads_per_core,
+                                      /*scatter=*/true);
+  const TunedTree tree =
+      optimize_tree(m, lay.tiles, TreeKind::kBroadcast, MemKind::kMCDRAM);
+  std::cout << "broadcast: tuned tree over " << lay.tiles
+            << " tiles, root fanout " << tree.root.fanout() << ", depth "
+            << tree_depth(tree.root) << " (predicted "
+            << fmt_num(tree.predicted_ns, 0) << " ns inter-tile)\n";
+  std::cout << render_tree(tree.root) << "\n";
+
+  // Validate: model vs simulation, tuned vs baselines.
+  Table t("measured on the simulated KNL (" + cluster + "-flat, " +
+          std::to_string(threads) + " threads)");
+  t.set_header(
+      {"algorithm", "median ns", "model best", "model worst", "vs tuned"});
+  double tuned_med[3] = {0, 0, 0};
+  const coll::Algo algos[9] = {
+      coll::Algo::kTunedBarrier, coll::Algo::kTunedBroadcast,
+      coll::Algo::kTunedReduce,  coll::Algo::kOmpBarrier,
+      coll::Algo::kOmpBroadcast, coll::Algo::kOmpReduce,
+      coll::Algo::kMpiBarrier,   coll::Algo::kMpiBroadcast,
+      coll::Algo::kMpiReduce};
+  for (int i = 0; i < 9; ++i) {
+    coll::HarnessOptions ho;
+    ho.iters = iters;
+    const auto r = coll::run_collective(cfg, algos[i], threads, &m, ho);
+    if (r.errors != 0) {
+      std::cerr << "validation failed for " << coll::to_string(algos[i])
+                << "\n";
+      return 1;
+    }
+    if (i < 3) tuned_med[i] = r.per_iter_max.median;
+    t.add_row({coll::to_string(algos[i]), fmt_num(r.per_iter_max.median, 0),
+               r.has_band ? fmt_num(r.band.best_ns, 0) : "-",
+               r.has_band ? fmt_num(r.band.worst_ns, 0) : "-",
+               i < 3 ? "1x"
+                     : fmt_num(r.per_iter_max.median / tuned_med[i % 3], 1) +
+                           "x"});
+  }
+  t.print(std::cout);
+  return 0;
+}

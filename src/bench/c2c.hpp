@@ -1,0 +1,42 @@
+// Cache-to-cache single-line latency benchmark (paper §IV.A.1, Table I
+// "Latency", Figure 4).
+//
+// A victim thread prepares one cache line in a controlled MESIF state
+// (optionally with a helper thread for S/F), then a probe thread reads it
+// and the read cost is recorded. Lines are drawn randomly from a pool, the
+// preparation happens between harness barriers, and medians are reported —
+// the BenchIT-style protocol.
+#pragma once
+
+#include "bench/measurement.hpp"
+#include "sim/config.hpp"
+
+namespace capmem::bench {
+
+/// State the line is prepared into, in the victim's cache.
+enum class PrepState { kM, kE, kS, kF, kI };
+const char* to_string(PrepState s);
+
+struct C2COptions {
+  RunOpts run;
+  int pool_lines = 256;  ///< lines in the randomized pool
+  /// Core hosting the helper thread for S/F preparation; must differ in
+  /// tile from both victim and prober. -1 = auto-pick.
+  int helper_core = -1;
+};
+
+/// Latency of `probe_core` reading a line held by `victim_core`'s cache in
+/// `state`. With state kI the line is flushed and the read is served by
+/// memory, so this doubles as the memory-latency probe of Table II.
+Summary c2c_read_latency(const sim::MachineConfig& cfg, int victim_core,
+                         int probe_core, PrepState state,
+                         const C2COptions& opts = {});
+
+/// Figure 4: latency of core `origin` reading a line in every other core's
+/// cache, per state. Returns one Series per state with x = core id.
+std::vector<Series> c2c_latency_per_core(const sim::MachineConfig& cfg,
+                                         int origin,
+                                         std::vector<PrepState> states,
+                                         const C2COptions& opts = {});
+
+}  // namespace capmem::bench

@@ -1,0 +1,93 @@
+#include "bench/congestion.hpp"
+
+#include "common/check.hpp"
+#include "sim/machine.hpp"
+
+namespace capmem::bench {
+
+using sim::Addr;
+using sim::Ctx;
+using sim::Machine;
+using sim::Task;
+
+Summary congestion_point(const sim::MachineConfig& cfg, int pairs,
+                         const CongestionOptions& opts) {
+  CAPMEM_CHECK(pairs >= 1);
+  const int tiles = cfg.active_tiles;
+  CAPMEM_CHECK_MSG(pairs * 2 <= tiles,
+                   "need two tiles per pair, have " << tiles);
+  Machine m(cfg);
+  const int iters = opts.run.iters;
+
+  // Pair p: pinger on tile p, ponger on tile p + tiles/2 — every ping-pong
+  // crosses roughly half the mesh.
+  std::vector<Addr> ping(static_cast<std::size_t>(pairs));
+  std::vector<Addr> pong(static_cast<std::size_t>(pairs));
+  for (int p = 0; p < pairs; ++p) {
+    ping[static_cast<std::size_t>(p)] =
+        m.alloc("ping" + std::to_string(p), kLineBytes, {}, true);
+    pong[static_cast<std::size_t>(p)] =
+        m.alloc("pong" + std::to_string(p), kLineBytes, {}, true);
+  }
+
+  std::vector<double> rtt(static_cast<std::size_t>(pairs), 0.0);
+  SampleVec per_iter_max;
+
+  for (int p = 0; p < pairs; ++p) {
+    const int tile_a = p;
+    const int tile_b = p + tiles / 2;
+    m.add_thread({tile_a * cfg.cores_per_tile, 0},
+                 [&, p](Ctx& ctx) -> Task {
+                   const Addr my_ping = ping[static_cast<std::size_t>(p)];
+                   const Addr my_pong = pong[static_cast<std::size_t>(p)];
+                   for (int i = 0; i < iters; ++i) {
+                     co_await ctx.sync();
+                     const Nanos t0 = ctx.now();
+                     co_await ctx.write_u64(my_ping,
+                                            static_cast<std::uint64_t>(i) + 1);
+                     co_await ctx.wait_eq(my_pong,
+                                          static_cast<std::uint64_t>(i) + 1);
+                     rtt[static_cast<std::size_t>(p)] = ctx.now() - t0;
+                     co_await ctx.sync();
+                     if (p == 0) {
+                       double mx = 0;
+                       for (double d : rtt) mx = std::max(mx, d);
+                       per_iter_max.add(mx);
+                     }
+                   }
+                 });
+    m.add_thread({tile_b * cfg.cores_per_tile, 0},
+                 [&, p](Ctx& ctx) -> Task {
+                   const Addr my_ping = ping[static_cast<std::size_t>(p)];
+                   const Addr my_pong = pong[static_cast<std::size_t>(p)];
+                   for (int i = 0; i < iters; ++i) {
+                     co_await ctx.sync();
+                     co_await ctx.wait_eq(my_ping,
+                                          static_cast<std::uint64_t>(i) + 1);
+                     co_await ctx.write_u64(my_pong,
+                                            static_cast<std::uint64_t>(i) + 1);
+                     co_await ctx.sync();
+                   }
+                 });
+  }
+  m.run();
+  return per_iter_max.summary();
+}
+
+CongestionResult congestion_pairs(const sim::MachineConfig& cfg,
+                                  const std::vector<int>& pair_counts,
+                                  const CongestionOptions& opts) {
+  CongestionResult out;
+  out.latency_vs_pairs.name = "p2p-pairs";
+  for (int p : pair_counts) {
+    out.latency_vs_pairs.add(p, congestion_point(cfg, p, opts));
+  }
+  if (out.latency_vs_pairs.size() >= 2) {
+    const double first = out.latency_vs_pairs.ys.front().median;
+    const double last = out.latency_vs_pairs.ys.back().median;
+    out.ratio = first > 0 ? last / first : 1.0;
+  }
+  return out;
+}
+
+}  // namespace capmem::bench

@@ -1,0 +1,34 @@
+// Mesh congestion benchmark (paper §IV.A.3, Table I "Congestion").
+//
+// Pairs of threads on distinct tile pairs run simultaneous ping-pongs; if
+// the mesh were a bottleneck, round-trip latency would climb with the pair
+// count. On KNL (and in this model) it does not — the paper reports "None".
+#pragma once
+
+#include <vector>
+
+#include "bench/measurement.hpp"
+#include "sim/config.hpp"
+
+namespace capmem::bench {
+
+struct CongestionOptions {
+  RunOpts run;
+};
+
+struct CongestionResult {
+  Series latency_vs_pairs;  ///< x = concurrent pairs, y = round-trip max
+  /// median(latency at max pairs) / median(latency at 1 pair); ~1 means no
+  /// observable congestion.
+  double ratio = 1.0;
+};
+
+/// Round-trip latency of `pairs` concurrent cross-tile ping-pongs.
+Summary congestion_point(const sim::MachineConfig& cfg, int pairs,
+                         const CongestionOptions& opts = {});
+
+CongestionResult congestion_pairs(const sim::MachineConfig& cfg,
+                                  const std::vector<int>& pair_counts,
+                                  const CongestionOptions& opts = {});
+
+}  // namespace capmem::bench

@@ -1,0 +1,89 @@
+#include "bench/contention.hpp"
+
+#include "common/check.hpp"
+#include "sim/machine.hpp"
+
+namespace capmem::bench {
+
+using sim::AccessType;
+using sim::Addr;
+using sim::CpuSlot;
+using sim::Ctx;
+using sim::Machine;
+using sim::Task;
+
+Summary contention_point(const sim::MachineConfig& cfg, int n,
+                         const ContentionOptions& opts) {
+  CAPMEM_CHECK(n >= 1);
+  Machine m(cfg);
+  const int iters = opts.run.iters;
+  const Addr hot = m.alloc("hot", kLineBytes, {}, false);
+
+  // Owner on core 0; readers scheduled from core 2 upward so none shares
+  // the owner's tile (which would short-circuit the directory).
+  const auto all = sim::make_schedule(cfg, opts.sched, cfg.hw_threads());
+  std::vector<CpuSlot> readers;
+  for (const CpuSlot& s : all) {
+    if (s.core / cfg.cores_per_tile == 0) continue;  // skip owner tile
+    readers.push_back(s);
+    if (static_cast<int>(readers.size()) == n) break;
+  }
+  CAPMEM_CHECK_MSG(static_cast<int>(readers.size()) == n,
+                   "machine too small for " << n << " readers");
+
+  std::vector<double> done(static_cast<std::size_t>(n), 0.0);
+  SampleVec per_iter_max;
+
+  m.add_thread({0, 0}, [&](Ctx& ctx) -> Task {
+    for (int i = 0; i < iters; ++i) {
+      co_await ctx.sync();
+      ctx.machine().flush_buffer(hot, kLineBytes);
+      co_await ctx.touch(hot, opts.owner_writes ? AccessType::kWrite
+                                                : AccessType::kRead);
+      co_await ctx.sync();
+      // Readers run here.
+      co_await ctx.sync();
+    }
+  });
+  for (int r = 0; r < n; ++r) {
+    m.add_thread(readers[static_cast<std::size_t>(r)],
+                 [&, r](Ctx& ctx) -> Task {
+                   const Addr local = ctx.machine().alloc(
+                       "local" + std::to_string(r), kLineBytes, {}, false);
+                   for (int i = 0; i < iters; ++i) {
+                     co_await ctx.sync();
+                     co_await ctx.sync();
+                     const Nanos t0 = ctx.now();
+                     co_await ctx.touch(hot, AccessType::kRead);
+                     co_await ctx.touch(local, AccessType::kWrite);
+                     done[static_cast<std::size_t>(r)] = ctx.now() - t0;
+                     co_await ctx.sync();
+                     if (r == 0) {
+                       double mx = 0;
+                       for (double d : done) mx = std::max(mx, d);
+                       per_iter_max.add(mx);
+                     }
+                   }
+                 });
+  }
+  m.run();
+  return per_iter_max.summary();
+}
+
+ContentionResult contention_1n(const sim::MachineConfig& cfg,
+                               const std::vector<int>& ns,
+                               const ContentionOptions& opts) {
+  ContentionResult out;
+  out.per_n.name = "contention-1:N";
+  std::vector<double> xs, ys;
+  for (int n : ns) {
+    const Summary s = contention_point(cfg, n, opts);
+    out.per_n.add(n, s);
+    xs.push_back(n);
+    ys.push_back(s.median);
+  }
+  out.fit = fit_linear(xs, ys);
+  return out;
+}
+
+}  // namespace capmem::bench

@@ -1,0 +1,41 @@
+// 1:N contention benchmark (paper §IV.A.2, Table I "Contention").
+//
+// One owner thread holds a one-line buffer in M state; N other threads read
+// ("copy") it simultaneously into thread-local buffers. The per-iteration
+// value is the maximum completion time across the N readers; sweeping N and
+// fitting a line yields the paper's T_C(N) = alpha + beta*N law.
+#pragma once
+
+#include <vector>
+
+#include "bench/measurement.hpp"
+#include "common/linreg.hpp"
+#include "sim/config.hpp"
+#include "sim/thread.hpp"
+
+namespace capmem::bench {
+
+struct ContentionOptions {
+  RunOpts run;
+  /// Reader pinning: one per tile first (paper's "each new thread runs in a
+  /// different tile") or filling cores within tiles.
+  sim::Schedule sched = sim::Schedule::kFillTiles;
+  /// State the hot line is prepared into before each iteration.
+  bool owner_writes = true;  ///< true: M state; false: E state
+};
+
+struct ContentionResult {
+  LinearFit fit;        ///< T_C(N) = alpha + beta*N over the sweep
+  Series per_n;         ///< x = N, y = per-iteration-max summary
+};
+
+/// Max completion time when `n` readers hit the owner's line at once.
+Summary contention_point(const sim::MachineConfig& cfg, int n,
+                         const ContentionOptions& opts = {});
+
+/// Full sweep + linear fit.
+ContentionResult contention_1n(const sim::MachineConfig& cfg,
+                               const std::vector<int>& ns,
+                               const ContentionOptions& opts = {});
+
+}  // namespace capmem::bench

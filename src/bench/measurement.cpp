@@ -1,0 +1,12 @@
+#include "bench/measurement.hpp"
+
+#include <algorithm>
+
+namespace capmem::bench {
+
+double SampleVec::max() const {
+  if (v_.empty()) return 0.0;
+  return *std::max_element(v_.begin(), v_.end());
+}
+
+}  // namespace capmem::bench

@@ -1,0 +1,41 @@
+// Multi-line cache-to-cache transfer benchmark (paper §IV.A.4, Table I
+// "Bandwidth", Figure 5).
+//
+// A victim thread leaves a message of S bytes in its L2 (state M or E); the
+// probe thread then copies it into a local buffer, or reads it into
+// registers. Bandwidth is payload bytes / probe time. Sizes sweep 64 B to
+// 256 KB; vector vs scalar access is an option (the paper reports 2.5 vs
+// 1 GB/s read, ~9 vs ~6 GB/s copy).
+#pragma once
+
+#include <vector>
+
+#include "bench/c2c.hpp"
+#include "bench/measurement.hpp"
+#include "sim/config.hpp"
+
+namespace capmem::bench {
+
+enum class XferOp { kCopy, kRead };
+const char* to_string(XferOp op);
+
+struct MultilineOptions {
+  RunOpts run;
+  bool vector = true;
+  int warmup = 3;  ///< discarded leading iterations (cold local buffer)
+};
+
+/// Bandwidth (GB/s of payload) for the probe transferring `bytes` that the
+/// victim holds in `state` (kM or kE).
+Summary multiline_bw(const sim::MachineConfig& cfg, int victim_core,
+                     int probe_core, std::uint64_t bytes, XferOp op,
+                     PrepState state, const MultilineOptions& opts = {});
+
+/// Size sweep; x = message bytes.
+Series multiline_size_sweep(const sim::MachineConfig& cfg, int victim_core,
+                            int probe_core,
+                            const std::vector<std::uint64_t>& sizes,
+                            XferOp op, PrepState state,
+                            const MultilineOptions& opts = {});
+
+}  // namespace capmem::bench

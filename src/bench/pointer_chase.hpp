@@ -1,0 +1,32 @@
+// Memory-latency benchmark (paper §V.A / Table II "Latency"): BenchIT-style
+// dependent loads to lines drawn randomly from a pool, with the cache
+// hierarchy flushed for the measured line so the access is served by memory.
+//
+// In flat mode the pool is placed in DRAM or MCDRAM explicitly. In cache
+// mode the per-line flush keeps the memory-side MCDRAM cache intact, so the
+// measured latency mixes MCDRAM-cache hits and misses exactly like the real
+// benchmark's randomized accesses — and shows the extra tag-check cost and
+// variability the paper describes.
+#pragma once
+
+#include <optional>
+
+#include "bench/measurement.hpp"
+#include "sim/config.hpp"
+
+namespace capmem::bench {
+
+struct MemLatencyOptions {
+  RunOpts run;
+  /// Pool footprint. 0 = auto: a few MB in flat mode; 2x the MCDRAM cache
+  /// capacity in cache mode (so hits and misses both occur).
+  std::uint64_t pool_bytes = 0;
+  int core = 0;
+};
+
+/// Median latency of loads served by `kind` memory (kind ignored in cache
+/// mode — everything is DDR-backed behind the MCDRAM cache).
+Summary memory_latency(const sim::MachineConfig& cfg, sim::MemKind kind,
+                       const MemLatencyOptions& opts = {});
+
+}  // namespace capmem::bench

@@ -1,0 +1,167 @@
+#include "bench/suite.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace capmem::bench {
+
+using sim::MemKind;
+using sim::MemoryMode;
+using sim::Schedule;
+
+namespace {
+
+// Pools samples from several victim cores into one Summary plus the
+// min/max-of-medians range.
+struct Pooled {
+  Summary pooled;
+  Range range;
+};
+
+Pooled pool_remote(const sim::MachineConfig& cfg, PrepState state,
+                   int samples, const C2COptions& copts) {
+  std::vector<double> meds;
+  std::vector<double> all;
+  const int probe = 0;
+  const int step = std::max(1, cfg.active_tiles / (samples + 1));
+  for (int k = 1; k <= samples; ++k) {
+    const int victim = (k * step % cfg.active_tiles) * cfg.cores_per_tile;
+    if (victim / cfg.cores_per_tile == 0) continue;  // skip probe tile
+    const Summary s = c2c_read_latency(cfg, victim, probe, state, copts);
+    meds.push_back(s.median);
+    all.push_back(s.median);
+  }
+  Pooled out;
+  out.pooled = summarize(all);
+  out.range.lo = *std::min_element(meds.begin(), meds.end());
+  out.range.hi = *std::max_element(meds.begin(), meds.end());
+  return out;
+}
+
+}  // namespace
+
+SuiteResults run_suite(const sim::MachineConfig& cfg,
+                       const SuiteOptions& opts) {
+  SuiteResults r;
+  r.cfg = cfg;
+  C2COptions copts;
+  copts.run = opts.run;
+
+  CAPMEM_LOG_INFO << "suite[" << sim::to_string(cfg.cluster) << "/"
+                  << sim::to_string(cfg.memory) << "]: cache-to-cache";
+  // L1: re-read on the same core.
+  r.lat_l1 = c2c_read_latency(cfg, 0, 0, PrepState::kE, copts);
+  // Same tile: victim core 1, probe core 0.
+  r.lat_tile_m = c2c_read_latency(cfg, 1, 0, PrepState::kM, copts);
+  r.lat_tile_e = c2c_read_latency(cfg, 1, 0, PrepState::kE, copts);
+  r.lat_tile_sf = c2c_read_latency(cfg, 1, 0, PrepState::kS, copts);
+  // Remote tiles: several victims for the range cells.
+  {
+    const Pooled m = pool_remote(cfg, PrepState::kM, opts.remote_samples,
+                                 copts);
+    r.lat_remote_m = m.pooled;
+    r.range_remote_m = m.range;
+    const Pooled e = pool_remote(cfg, PrepState::kE, opts.remote_samples,
+                                 copts);
+    r.lat_remote_e = e.pooled;
+    r.range_remote_e = e.range;
+    const Pooled sf = pool_remote(cfg, PrepState::kF, opts.remote_samples,
+                                  copts);
+    r.lat_remote_sf = sf.pooled;
+    r.range_remote_sf = sf.range;
+  }
+
+  CAPMEM_LOG_INFO << "suite: multi-line transfers";
+  MultilineOptions mopts;
+  mopts.run = opts.run;
+  const int remote_core =
+      (cfg.active_tiles / 2) * cfg.cores_per_tile;  // far tile
+  const std::uint64_t msg = KiB(64);
+  r.bw_read_remote =
+      multiline_bw(cfg, remote_core, 0, msg, XferOp::kRead, PrepState::kE,
+                   mopts);
+  r.bw_copy_remote =
+      multiline_bw(cfg, remote_core, 0, msg, XferOp::kCopy, PrepState::kE,
+                   mopts);
+  r.bw_copy_tile_m =
+      multiline_bw(cfg, 1, 0, msg, XferOp::kCopy, PrepState::kM, mopts);
+  r.bw_copy_tile_e =
+      multiline_bw(cfg, 1, 0, msg, XferOp::kCopy, PrepState::kE, mopts);
+  {
+    // Size sweep for the alpha + beta*N multi-line law.
+    std::vector<double> xs, ys;
+    for (std::uint64_t bytes : {kLineBytes, KiB(1), KiB(8), KiB(64)}) {
+      const Summary gbps = multiline_bw(cfg, remote_core, 0, bytes,
+                                        XferOp::kCopy, PrepState::kM, mopts);
+      xs.push_back(static_cast<double>(lines_for(bytes)));
+      ys.push_back(static_cast<double>(bytes) / gbps.median);  // ns
+    }
+    r.multiline_ns = fit_linear(xs, ys);
+  }
+
+  CAPMEM_LOG_INFO << "suite: contention / congestion";
+  ContentionOptions cnopts;
+  cnopts.run = opts.run;
+  r.contention = contention_1n(cfg, opts.contention_ns, cnopts);
+  CongestionOptions cgopts;
+  cgopts.run.iters = std::max(11, opts.run.iters / 4);
+  cgopts.run.seed = opts.run.seed;
+  r.congestion =
+      congestion_pairs(cfg, {1, 2, 4, std::max(4, cfg.active_tiles / 4)},
+                       cgopts);
+
+  CAPMEM_LOG_INFO << "suite: memory latency";
+  MemLatencyOptions lopts;
+  lopts.run = opts.run;
+  r.mem_lat_dram = memory_latency(cfg, MemKind::kDDR, lopts);
+  if (cfg.memory != MemoryMode::kCache) {
+    r.mem_lat_mcdram = memory_latency(cfg, MemKind::kMCDRAM, lopts);
+  }
+
+  if (!opts.streams) return r;
+  CAPMEM_LOG_INFO << "suite: stream kernels";
+  const bool flat_kinds = cfg.memory != MemoryMode::kCache;
+  r.has_mcdram_streams = flat_kinds;
+  r.has_streams = true;
+  const StreamOp ops[4] = {StreamOp::kCopy, StreamOp::kRead,
+                           StreamOp::kWrite, StreamOp::kTriad};
+  for (int oi = 0; oi < 4; ++oi) {
+    for (int ki = 0; ki < (flat_kinds ? 2 : 1); ++ki) {
+      const MemKind kind = ki == 0 ? MemKind::kDDR : MemKind::kMCDRAM;
+      StreamConfig sc;
+      sc.kind = kind;
+      sc.run.seed = opts.run.seed;
+      if (opts.fast) {
+        sc.run.iters = 5;
+        sc.buffer_bytes = KiB(128);
+        sc.nthreads = std::min(16, cfg.cores());
+        sc.pool_buffers = 2;
+      } else {
+        sc.run.iters = 9;
+        sc.buffer_bytes = KiB(256);
+        // DRAM saturates with ~16 cores; MCDRAM needs the full chip.
+        sc.nthreads =
+            kind == MemKind::kDDR ? std::min(16, cfg.cores()) : cfg.cores();
+        sc.sched = Schedule::kFillTiles;
+      }
+      auto& cell = r.stream[oi][ki];
+      sc.nt = true;
+      sc.randomize = true;
+      cell.nt_random = stream_bench(cfg, ops[oi], sc);
+      sc.nt = true;
+      sc.randomize = false;  // classic STREAM protocol: fixed buffers
+      cell.stream_peak = stream_bench(cfg, ops[oi], sc);
+      if (ops[oi] == StreamOp::kCopy) {
+        StreamConfig one = sc;
+        one.nthreads = 1;
+        one.randomize = true;
+        r.copy_1thread[ki] = stream_bench(cfg, StreamOp::kCopy, one);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace capmem::bench

@@ -1,0 +1,121 @@
+#include "bench/windows.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace capmem::bench {
+
+using sim::AccessType;
+using sim::Addr;
+using sim::Ctx;
+using sim::Machine;
+using sim::Task;
+
+std::vector<double> calibrate_tsc_skew(const sim::MachineConfig& cfg,
+                                       int iters) {
+  CAPMEM_CHECK(iters >= 1);
+  std::vector<double> skew(static_cast<std::size_t>(cfg.cores()), 0.0);
+  const double res = cfg.tsc_resolution_ns;
+
+  for (int core = 1; core < cfg.cores(); ++core) {
+    Machine m(cfg);
+    const Addr ping = m.alloc("ping", kLineBytes, {}, true);
+    const Addr pong = m.alloc("pong", kLineBytes, {}, true);
+    std::vector<double> offsets;
+
+    // Peer sends its TSC (t1); core 0 stamps receipt (t2) and reply (t3);
+    // peer stamps the reply receipt (t4). With symmetric transfer delay d:
+    //   t2 = t1 + skew0 - skewc + d,  t4 = t3 - skew0 + skewc + d
+    //   => ((t2 - t1) - (t4 - t3)) / 2 = skew0 - skewc = -offset(c).
+    m.add_thread({0, 0}, [&, iters](Ctx& ctx) -> Task {
+      for (int i = 1; i <= iters; ++i) {
+        co_await ctx.wait_eq(ping, static_cast<std::uint64_t>(i));
+        const std::uint64_t t2 = ctx.rdtsc();
+        co_await ctx.write_u64(pong + 8, t2);  // also carries t3 below
+        co_await ctx.write_u64(pong + 16, ctx.rdtsc());
+        co_await ctx.write_u64(pong, static_cast<std::uint64_t>(i));
+      }
+    });
+    m.add_thread({core, 0}, [&, iters, res](Ctx& ctx) -> Task {
+      for (int i = 1; i <= iters; ++i) {
+        const std::uint64_t t1 = ctx.rdtsc();
+        co_await ctx.write_u64(ping + 8, t1);
+        co_await ctx.write_u64(ping, static_cast<std::uint64_t>(i));
+        co_await ctx.wait_eq(pong, static_cast<std::uint64_t>(i));
+        const std::uint64_t t4 = ctx.rdtsc();
+        const std::uint64_t t2 = ctx.peek_u64(pong + 8);
+        const std::uint64_t t3 = ctx.peek_u64(pong + 16);
+        const double fwd = static_cast<double>(t2) - static_cast<double>(t1);
+        const double bwd = static_cast<double>(t4) - static_cast<double>(t3);
+        // offset(core) = skew_core - skew_0 = (bwd - fwd) / 2 ticks.
+        offsets.push_back((bwd - fwd) / 2.0 * res);
+      }
+    });
+    m.run();
+    skew[static_cast<std::size_t>(core)] = median(offsets);
+  }
+  return skew;
+}
+
+Summary c2c_read_latency_windowed(const sim::MachineConfig& cfg,
+                                  int victim_core, int probe_core,
+                                  PrepState state,
+                                  const WindowOptions& opts) {
+  CAPMEM_CHECK_MSG(state == PrepState::kM || state == PrepState::kE,
+                   "windowed harness supports single-preparer states");
+  // Calibration pass first, as the paper does.
+  const std::vector<double> skew = calibrate_tsc_skew(cfg, 9);
+
+  Machine m(cfg);
+  const int iters = opts.run.iters;
+  const Addr pool = m.alloc(
+      "wpool", static_cast<std::uint64_t>(opts.pool_lines) * kLineBytes, {},
+      false);
+  Rng rng(opts.run.seed);
+  std::vector<Addr> line_addr;
+  for (int i = 0; i < iters; ++i) {
+    line_addr.push_back(
+        pool + rng.next_below(static_cast<std::uint64_t>(opts.pool_lines)) *
+                   kLineBytes);
+  }
+  SampleVec samples;
+  const double res = cfg.tsc_resolution_ns;
+  const double window = opts.window_ns;
+
+  // Each iteration i spans two windows: preparation in window 2i, probe in
+  // window 2i+1. All threads agree on corrected-TSC window boundaries; a
+  // thread spins until its raw TSC reaches target + estimated_skew, which
+  // is what the real harness does (estimation error shifts starts by a few
+  // ns — windows are much longer than a transfer, so that is harmless).
+  auto window_target_ticks = [&, res](int w, int core) {
+    const double corrected_ns = 1000.0 + w * window;
+    return static_cast<std::uint64_t>(
+        (corrected_ns + skew[static_cast<std::size_t>(core)]) / res);
+  };
+
+  m.add_thread({victim_core, 0}, [&, state](Ctx& ctx) -> Task {
+    for (int i = 0; i < iters; ++i) {
+      co_await ctx.until_tsc(window_target_ticks(2 * i, ctx.core()));
+      const Addr a = line_addr[static_cast<std::size_t>(i)];
+      ctx.machine().flush_buffer(a, kLineBytes);
+      co_await ctx.touch(a, state == PrepState::kM ? AccessType::kWrite
+                                                   : AccessType::kRead);
+    }
+  });
+  m.add_thread({probe_core, 0}, [&](Ctx& ctx) -> Task {
+    for (int i = 0; i < iters; ++i) {
+      co_await ctx.until_tsc(window_target_ticks(2 * i + 1, ctx.core()));
+      const Nanos t0 = ctx.now();
+      co_await ctx.touch(line_addr[static_cast<std::size_t>(i)],
+                         AccessType::kRead);
+      samples.add(ctx.now() - t0);
+    }
+  });
+  m.run();
+  return samples.summary();
+}
+
+}  // namespace capmem::bench

@@ -1,0 +1,43 @@
+// TSC-window thread synchronization (paper §III.A: "Threads are
+// synchronized with window intervals based on the use of the TSC counter.
+// Before initializing the windows, the TSC skew among cores is calculated").
+//
+// This is the measurement harness real hardware needs: per-core TSC offsets
+// are estimated with flag ping-pongs against core 0, and iterations then
+// start at agreed TSC window boundaries instead of through a software
+// barrier. The engine-level sync() used elsewhere is the idealized stand-in;
+// this module exists to exercise (and validate) the realistic protocol.
+#pragma once
+
+#include <vector>
+
+#include "bench/c2c.hpp"
+#include "bench/measurement.hpp"
+#include "sim/config.hpp"
+
+namespace capmem::bench {
+
+/// Estimated TSC offset of each core relative to core 0, in nanoseconds
+/// (entry 0 is 0 by construction). Uses the symmetric ping-pong estimator
+/// offset = ((t2 - t1) + (t3 - t4)) / 2 with `iters` repetitions per core,
+/// taking medians.
+std::vector<double> calibrate_tsc_skew(const sim::MachineConfig& cfg,
+                                       int iters = 15);
+
+struct WindowOptions {
+  RunOpts run;
+  /// Window length; must exceed the longest iteration (the harness checks
+  /// and widens if an iteration overruns its window).
+  Nanos window_ns = 5000.0;
+  int pool_lines = 256;
+};
+
+/// Cache-to-cache read latency measured with the window-synchronized
+/// harness instead of engine barriers: validates that the idealized sync
+/// does not distort the reported medians.
+Summary c2c_read_latency_windowed(const sim::MachineConfig& cfg,
+                                  int victim_core, int probe_core,
+                                  PrepState state,
+                                  const WindowOptions& opts = {});
+
+}  // namespace capmem::bench

@@ -1,0 +1,194 @@
+#include "coll/baseline_mpi.hpp"
+
+#include "coll/harness.hpp"
+#include "coll/tuned.hpp"
+#include "common/check.hpp"
+
+namespace capmem::coll {
+
+using sim::Ctx;
+using sim::Task;
+
+namespace {
+int log2_rounds(int n) {
+  int r = 0;
+  while ((1 << r) < n) ++r;
+  return r;
+}
+}  // namespace
+
+// ----------------------------------------------------------------- barrier
+
+MpiBarrier::MpiBarrier(World& w, MpiCosts costs)
+    : w_(&w),
+      costs_(costs),
+      rounds_(std::max(1, log2_rounds(w.nranks()))),
+      mailbox_(*w.machine, "mpi_bar", w.nranks(), rounds_, w.place) {}
+
+sim::Machine::Program MpiBarrier::program(int rank, int iters,
+                                          Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int n = w_->nranks();
+    const double progress = costs_.progress_per_rank * n;
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      for (int j = 0; j < rounds_; ++j) {
+        const int peer = (rank + (1 << j)) % n;
+        co_await ctx.compute(costs_.send_overhead);
+        co_await ctx.write_u64(mailbox_.flag(peer, j), seq);
+        co_await ctx.compute(progress);
+        co_await ctx.wait_eq(mailbox_.flag(rank, j), seq);
+        co_await ctx.compute(costs_.recv_overhead);
+      }
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+// --------------------------------------------------------------- broadcast
+
+MpiBroadcast::MpiBroadcast(World& w, MpiCosts costs)
+    : w_(&w),
+      costs_(costs),
+      mailbox_(*w.machine, "mpi_bc", w.nranks(), 1, w.place),
+      acks_(*w.machine, "mpi_bc_local", w.nranks(), 1, w.place) {}
+
+sim::Machine::Program MpiBroadcast::program(int rank, int iters,
+                                            Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int n = w_->nranks();
+    const double progress = costs_.progress_per_rank * n;
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      std::uint64_t v = 0;
+      // Binomial tree: ranks below `mask` hold the payload.
+      bool have = rank == 0;
+      if (have) v = bcast_value(it);
+      for (int mask = 1; mask < n; mask <<= 1) {
+        if (!have && rank < 2 * mask && rank >= mask) {
+          // Receive from rank - mask: progress, poll, double copy out.
+          co_await ctx.compute(progress);
+          co_await ctx.wait_eq(mailbox_.flag(rank, 0), seq);
+          v = co_await ctx.read_u64(mailbox_.payload(rank, 0));
+          co_await ctx.write_u64(acks_.payload(rank, 0), v);  // copy-out
+          co_await ctx.compute(costs_.recv_overhead);
+          have = true;
+        } else if (have && rank < mask && rank + mask < n) {
+          // Send to rank + mask: marshal + copy into the staging segment.
+          co_await ctx.compute(costs_.send_overhead);
+          co_await ctx.write_u64(mailbox_.payload(rank + mask, 0), v);
+          co_await ctx.write_u64(mailbox_.flag(rank + mask, 0), seq);
+        }
+      }
+      if (v != bcast_value(it)) rec->flag_error();
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+// --------------------------------------------------------------- allreduce
+
+MpiAllreduce::MpiAllreduce(World& w, MpiCosts costs)
+    : w_(&w),
+      costs_(costs),
+      rd_mailbox_(*w.machine, "mpi_ar_rd", w.nranks(),
+                  std::max(1, log2_rounds(w.nranks())), w.place),
+      bc_mailbox_(*w.machine, "mpi_ar_bc", w.nranks(), 1, w.place),
+      locals_(*w.machine, "mpi_ar_loc", w.nranks(), 1, w.place) {}
+
+sim::Machine::Program MpiAllreduce::program(int rank, int iters,
+                                            Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int n = w_->nranks();
+    const double progress = costs_.progress_per_rank * n;
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      // Binomial reduce towards rank 0.
+      std::uint64_t acc = reduce_contrib(rank, it);
+      int slot = 0;
+      for (int mask = 1; mask < n; mask <<= 1, ++slot) {
+        if (rank & mask) {
+          co_await ctx.compute(costs_.send_overhead);
+          co_await ctx.write_u64(rd_mailbox_.payload(rank - mask, slot),
+                                 acc);
+          co_await ctx.write_u64(rd_mailbox_.flag(rank - mask, slot), seq);
+          break;
+        }
+        if (rank + mask < n) {
+          co_await ctx.compute(progress);
+          co_await ctx.wait_eq(rd_mailbox_.flag(rank, slot), seq);
+          acc += co_await ctx.read_u64(rd_mailbox_.payload(rank, slot));
+          co_await ctx.compute(costs_.recv_overhead);
+        }
+      }
+      // Binomial broadcast of the total from rank 0.
+      std::uint64_t total = acc;
+      bool have = rank == 0;
+      for (int mask = 1; mask < n; mask <<= 1) {
+        if (!have && rank < 2 * mask && rank >= mask) {
+          co_await ctx.compute(progress);
+          co_await ctx.wait_eq(bc_mailbox_.flag(rank, 0), seq);
+          total = co_await ctx.read_u64(bc_mailbox_.payload(rank, 0));
+          co_await ctx.write_u64(locals_.payload(rank, 0), total);
+          co_await ctx.compute(costs_.recv_overhead);
+          have = true;
+        } else if (have && rank < mask && rank + mask < n) {
+          co_await ctx.compute(costs_.send_overhead);
+          co_await ctx.write_u64(bc_mailbox_.payload(rank + mask, 0),
+                                 total);
+          co_await ctx.write_u64(bc_mailbox_.flag(rank + mask, 0), seq);
+        }
+      }
+      if (total != reduce_expected(n, it)) rec->flag_error();
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+// ------------------------------------------------------------------ reduce
+
+MpiReduce::MpiReduce(World& w, MpiCosts costs)
+    : w_(&w),
+      costs_(costs),
+      mailbox_(*w.machine, "mpi_rd", w.nranks(),
+               std::max(1, log2_rounds(w.nranks())), w.place) {}
+
+sim::Machine::Program MpiReduce::program(int rank, int iters,
+                                         Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int n = w_->nranks();
+    const double progress = costs_.progress_per_rank * n;
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      std::uint64_t acc = reduce_contrib(rank, it);
+      int slot = 0;
+      for (int mask = 1; mask < n; mask <<= 1, ++slot) {
+        if (rank & mask) {
+          // Send my partial to rank - mask and leave the tree.
+          co_await ctx.compute(costs_.send_overhead);
+          co_await ctx.write_u64(mailbox_.payload(rank - mask, slot), acc);
+          co_await ctx.write_u64(mailbox_.flag(rank - mask, slot), seq);
+          break;
+        }
+        if (rank + mask < n) {
+          co_await ctx.compute(progress);
+          co_await ctx.wait_eq(mailbox_.flag(rank, slot), seq);
+          acc += co_await ctx.read_u64(mailbox_.payload(rank, slot));
+          co_await ctx.compute(costs_.recv_overhead);
+        }
+      }
+      if (rank == 0 && acc != reduce_expected(n, it)) rec->flag_error();
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+}  // namespace capmem::coll

@@ -1,0 +1,78 @@
+// Intel-MPI-style baseline collectives (paper §IV.B.3 comparison).
+//
+// MPI ranks live in separate address spaces, so every transfer is a double
+// copy through a shared staging segment plus an eager-protocol envelope.
+// On top of the copies, each message pays software overhead: argument
+// marshalling / matching on both sides, and a progress-engine term that
+// scans per-peer connection state and therefore grows with the rank count
+// (the paper: "most MPI implementations utilize different address spaces
+// and are thus at a disadvantage"). Collectives are binomial trees /
+// dissemination exactly like production MPI libraries.
+#pragma once
+
+#include "coll/runtime.hpp"
+
+namespace capmem::coll {
+
+class Recorder;
+
+/// Software-overhead model of the MPI library itself (ns).
+struct MpiCosts {
+  double send_overhead = 350.0;
+  double recv_overhead = 350.0;
+  /// Progress-engine scan per posted receive, multiplied by the number of
+  /// ranks (connection endpoints to poll).
+  double progress_per_rank = 40.0;
+};
+
+class MpiBarrier {
+ public:
+  MpiBarrier(World& w, MpiCosts costs = {});
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  MpiCosts costs_;
+  int rounds_;
+  CellSet mailbox_;  // per rank: one staging slot per round
+};
+
+class MpiBroadcast {
+ public:
+  MpiBroadcast(World& w, MpiCosts costs = {});
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  MpiCosts costs_;
+  CellSet mailbox_;  // per rank: eager staging cell
+  CellSet acks_;
+};
+
+/// MPI_Allreduce-style: binomial reduce to rank 0, then binomial
+/// broadcast, each hop a staged double copy with software overheads.
+class MpiAllreduce {
+ public:
+  MpiAllreduce(World& w, MpiCosts costs = {});
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  MpiCosts costs_;
+  CellSet rd_mailbox_;  // per rank, one slot per binomial round
+  CellSet bc_mailbox_;
+  CellSet locals_;
+};
+
+class MpiReduce {
+ public:
+  MpiReduce(World& w, MpiCosts costs = {});
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  MpiCosts costs_;
+  CellSet mailbox_;  // per rank: one staging slot per binomial round
+};
+
+}  // namespace capmem::coll

@@ -1,0 +1,125 @@
+#include "coll/baseline_omp.hpp"
+
+#include "coll/harness.hpp"
+#include "coll/tuned.hpp"  // shared value/verification helpers
+
+namespace capmem::coll {
+
+using sim::Ctx;
+using sim::Task;
+
+OmpBarrier::OmpBarrier(World& w)
+    : w_(&w), state_(*w.machine, "omp_bar", 1, 2, w.place) {}
+
+sim::Machine::Program OmpBarrier::program(int rank, int iters,
+                                          Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int n = w_->nranks();
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      // Cumulative counter avoids resets; the seq-th barrier completes
+      // when the counter reaches n*seq.
+      const std::uint64_t arrived =
+          co_await ctx.fetch_add_u64(state_.flag(0, 0), 1) + 1;
+      if (arrived == static_cast<std::uint64_t>(n) * seq) {
+        co_await ctx.write_u64(state_.flag(0, 1), seq);
+      } else {
+        co_await ctx.wait_eq(state_.flag(0, 1), seq);
+      }
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+OmpBroadcast::OmpBroadcast(World& w)
+    : w_(&w), cell_(*w.machine, "omp_bc", 1, 1, w.place) {}
+
+sim::Machine::Program OmpBroadcast::program(int rank, int iters,
+                                            Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      std::uint64_t v;
+      if (rank == 0) {
+        v = bcast_value(it);
+        co_await ctx.write_u64(cell_.payload(0), v);
+        co_await ctx.write_u64(cell_.flag(0), seq);
+      } else {
+        co_await ctx.wait_eq(cell_.flag(0), seq);
+        v = co_await ctx.read_u64(cell_.payload(0));
+      }
+      if (v != bcast_value(it)) rec->flag_error();
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+OmpAllreduce::OmpAllreduce(World& w)
+    : w_(&w),
+      cells_(*w.machine, "omp_ar", w.nranks(), 1, w.place),
+      result_(*w.machine, "omp_ar_res", 1, 1, w.place) {}
+
+sim::Machine::Program OmpAllreduce::program(int rank, int iters,
+                                            Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int n = w_->nranks();
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      std::uint64_t total;
+      if (rank != 0) {
+        co_await ctx.write_u64(cells_.payload(rank),
+                               reduce_contrib(rank, it));
+        co_await ctx.write_u64(cells_.flag(rank), seq);
+        co_await ctx.wait_eq(result_.flag(0), seq);
+        total = co_await ctx.read_u64(result_.payload(0));
+      } else {
+        std::uint64_t acc = reduce_contrib(0, it);
+        for (int r = 1; r < n; ++r) {
+          co_await ctx.wait_eq(cells_.flag(r), seq);
+          acc += co_await ctx.read_u64(cells_.payload(r));
+        }
+        co_await ctx.write_u64(result_.payload(0), acc);
+        co_await ctx.write_u64(result_.flag(0), seq);
+        total = acc;
+      }
+      if (total != reduce_expected(n, it)) rec->flag_error();
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+OmpReduce::OmpReduce(World& w)
+    : w_(&w), cells_(*w.machine, "omp_rd", w.nranks(), 1, w.place) {}
+
+sim::Machine::Program OmpReduce::program(int rank, int iters,
+                                         Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int n = w_->nranks();
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      if (rank != 0) {
+        co_await ctx.write_u64(cells_.payload(rank),
+                               reduce_contrib(rank, it));
+        co_await ctx.write_u64(cells_.flag(rank), seq);
+      } else {
+        std::uint64_t acc = reduce_contrib(0, it);
+        for (int r = 1; r < n; ++r) {
+          co_await ctx.wait_eq(cells_.flag(r), seq);
+          acc += co_await ctx.read_u64(cells_.payload(r));
+        }
+        if (acc != reduce_expected(n, it)) rec->flag_error();
+      }
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+}  // namespace capmem::coll

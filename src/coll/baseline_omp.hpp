@@ -1,0 +1,61 @@
+// OpenMP-runtime-style baseline collectives (paper §IV.B.3 comparison).
+//
+// These model the algorithmic structure of typical OpenMP runtimes, which
+// is what the paper's speedups are measured against:
+//   barrier   — centralized: atomic arrival counter + one release flag that
+//               every thread polls (contention grows linearly with N).
+//   broadcast — flat: the master publishes one cell; all N-1 threads poll
+//               the same line.
+//   reduce    — flat gather: every thread publishes a private cell; the
+//               master collects them sequentially.
+#pragma once
+
+#include "coll/runtime.hpp"
+
+namespace capmem::coll {
+
+class Recorder;
+
+class OmpBarrier {
+ public:
+  explicit OmpBarrier(World& w);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  CellSet state_;  // slot 0 of rank 0: counter; slot 1: release flag
+};
+
+class OmpBroadcast {
+ public:
+  explicit OmpBroadcast(World& w);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  CellSet cell_;  // single master cell
+};
+
+/// Flat allreduce: gather into the master, master publishes the total.
+class OmpAllreduce {
+ public:
+  explicit OmpAllreduce(World& w);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  CellSet cells_;   // per rank contributions
+  CellSet result_;  // master's published total
+};
+
+class OmpReduce {
+ public:
+  explicit OmpReduce(World& w);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  CellSet cells_;  // per rank
+};
+
+}  // namespace capmem::coll

@@ -1,0 +1,76 @@
+// Collective benchmark harness (paper §IV.B.3): runs one algorithm for many
+// iterations under a pinning schedule, records per-rank per-iteration costs,
+// reduces them with the per-iteration maximum across ranks, and reports the
+// boxplot summary next to the min-max model band.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "model/collective_model.hpp"
+#include "model/params.hpp"
+#include "sim/config.hpp"
+#include "sim/thread.hpp"
+
+namespace capmem::coll {
+
+enum class Algo {
+  kTunedBarrier,
+  kTunedBroadcast,
+  kTunedReduce,
+  kOmpBarrier,
+  kOmpBroadcast,
+  kOmpReduce,
+  kMpiBarrier,
+  kMpiBroadcast,
+  kMpiReduce,
+  // Extension beyond the paper's three collectives:
+  kTunedAllreduce,
+  kOmpAllreduce,
+  kMpiAllreduce,
+};
+const char* to_string(Algo a);
+bool is_tuned(Algo a);
+
+/// Collects per-(rank, iteration) durations during a run.
+class Recorder {
+ public:
+  Recorder(int nranks, int iters);
+  void record(int rank, int iter, double ns);
+  void flag_error() { ++errors_; }
+
+  /// Per-iteration maxima across ranks, summarized (the paper's metric).
+  Summary per_iter_max() const;
+  std::vector<double> iter_max_series() const;
+  std::size_t errors() const { return errors_; }
+
+ private:
+  int nranks_;
+  int iters_;
+  std::vector<double> cells_;  // rank-major
+  std::size_t errors_ = 0;
+};
+
+struct HarnessOptions {
+  int iters = 101;
+  sim::Schedule sched = sim::Schedule::kScatter;
+  sim::MemKind cell_kind = sim::MemKind::kMCDRAM;  ///< Figs. 6-8: MCDRAM
+  std::uint64_t seed = 1;
+};
+
+struct CollResult {
+  Summary per_iter_max;        ///< ns; median is the headline number
+  std::size_t errors = 0;      ///< data-validation failures (must be 0)
+  model::CostBand band;        ///< min-max model prediction (tuned algos)
+  bool has_band = false;
+};
+
+/// Runs `algo` with `nthreads` ranks on a fresh machine. Tuned algorithms
+/// require the fitted capability model (`model` may be null for baselines).
+CollResult run_collective(const sim::MachineConfig& cfg, Algo algo,
+                          int nthreads, const model::CapabilityModel* model,
+                          const HarnessOptions& opts = {});
+
+}  // namespace capmem::coll

@@ -1,0 +1,145 @@
+#include "coll/payload_bcast.hpp"
+
+#include "coll/harness.hpp"
+#include "coll/tuned.hpp"
+#include "common/check.hpp"
+
+namespace capmem::coll {
+
+using sim::Addr;
+using sim::Ctx;
+using sim::Task;
+
+std::uint64_t payload_word(int it, std::uint64_t word_index) {
+  return (static_cast<std::uint64_t>(it) + 1) * 0x9e3779b97f4a7c15ull +
+         word_index * 0xbf58476d1ce4e5b9ull;
+}
+
+namespace {
+// Fills a data buffer with the iteration's pattern (untimed host setup for
+// the root; consumers validate first/last words after their timed copy).
+void fill_payload(sim::Machine& m, Addr buf, std::uint64_t bytes, int it) {
+  for (std::uint64_t w = 0; w < bytes / 8; ++w) {
+    m.space().store<std::uint64_t>(buf + w * 8, payload_word(it, w));
+  }
+}
+
+bool validate_payload(sim::Machine& m, Addr buf, std::uint64_t bytes,
+                      int it) {
+  const std::uint64_t last = bytes / 8 - 1;
+  return m.space().load<std::uint64_t>(buf) == payload_word(it, 0) &&
+         m.space().load<std::uint64_t>(buf + last * 8) ==
+             payload_word(it, last);
+}
+}  // namespace
+
+TunedPayloadBroadcast::TunedPayloadBroadcast(World& w,
+                                             const model::TunedTree& tree,
+                                             std::uint64_t payload_bytes)
+    : w_(&w),
+      groups_(group_by_tile(w)),
+      payload_bytes_(lines_for(payload_bytes) * kLineBytes),
+      flags_(*w.machine, "pb_flags", static_cast<int>(groups_.leaders.size()),
+             2, w.place) {
+  const TreePlan plan = flatten_tree(tree.root);
+  CAPMEM_CHECK(plan.parent.size() == groups_.leaders.size());
+  parent_ = plan.parent;
+  children_ = plan.children;
+  bufs_ = w.machine->alloc(
+      "pb_bufs",
+      payload_bytes_ * static_cast<std::uint64_t>(groups_.leaders.size()),
+      w.place, /*with_data=*/true);
+}
+
+Addr TunedPayloadBroadcast::buf_of(int group) const {
+  return bufs_ + static_cast<std::uint64_t>(group) * payload_bytes_;
+}
+
+sim::Machine::Program TunedPayloadBroadcast::program(int rank, int iters,
+                                                     Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int g = groups_.group_of_rank(rank);
+    const bool leader = groups_.is_leader(rank);
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      // Prepare the payload only once every rank has finished the previous
+      // iteration (the barrier guarantees no one is still copying it).
+      if (leader && parent_[static_cast<std::size_t>(g)] < 0) {
+        fill_payload(ctx.machine(), buf_of(g), payload_bytes_, it);
+      }
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      if (leader) {
+        if (parent_[static_cast<std::size_t>(g)] < 0) {
+          co_await ctx.write_u64(flags_.flag(g, 0), seq);
+        } else {
+          const int pg = parent_[static_cast<std::size_t>(g)];
+          co_await ctx.wait_eq(flags_.flag(pg, 0), seq);
+          // Copy the s-line message from the parent's staging buffer into
+          // mine, then publish + ack.
+          co_await ctx.copy(buf_of(g), buf_of(pg), payload_bytes_);
+          co_await ctx.write_u64(flags_.flag(g, 0), seq);
+          co_await ctx.write_u64(flags_.flag(g, 1), seq);  // ack
+        }
+        for (int cg : children_[static_cast<std::size_t>(g)]) {
+          co_await ctx.wait_eq(flags_.flag(cg, 1), seq);
+        }
+        if (!validate_payload(ctx.machine(), buf_of(g), payload_bytes_,
+                              it)) {
+          rec->flag_error();
+        }
+      } else {
+        // Tile members read the leader's buffer in place (shared L2).
+        co_await ctx.wait_eq(flags_.flag(g, 0), seq);
+        co_await ctx.read_buf(buf_of(g), payload_bytes_);
+        if (!validate_payload(ctx.machine(), buf_of(g), payload_bytes_,
+                              it)) {
+          rec->flag_error();
+        }
+      }
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+FlatPayloadBroadcast::FlatPayloadBroadcast(World& w,
+                                           std::uint64_t payload_bytes)
+    : w_(&w),
+      payload_bytes_(lines_for(payload_bytes) * kLineBytes),
+      flag_(*w.machine, "fpb_flag", 1, 1, w.place) {
+  root_buf_ = w.machine->alloc("fpb_root", payload_bytes_, w.place, true);
+  local_bufs_ = w.machine->alloc(
+      "fpb_local",
+      payload_bytes_ * static_cast<std::uint64_t>(w.nranks()), w.place,
+      true);
+}
+
+sim::Machine::Program FlatPayloadBroadcast::program(int rank, int iters,
+                                                    Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const Addr mine =
+        local_bufs_ + static_cast<std::uint64_t>(rank) * payload_bytes_;
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      if (rank == 0) {
+        fill_payload(ctx.machine(), root_buf_, payload_bytes_, it);
+      }
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      if (rank == 0) {
+        co_await ctx.write_u64(flag_.flag(0), seq);
+      } else {
+        co_await ctx.wait_eq(flag_.flag(0), seq);
+        // Everyone pulls the full message from the root's buffer at once:
+        // all the contention the tuned tree avoids.
+        co_await ctx.copy(mine, root_buf_, payload_bytes_);
+        if (!validate_payload(ctx.machine(), mine, payload_bytes_, it)) {
+          rec->flag_error();
+        }
+      }
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+}  // namespace capmem::coll

@@ -1,0 +1,54 @@
+// Multi-line payload broadcast (extension): generalizes the paper's tuned
+// broadcast from an 8-byte cell to s-line messages, using the fitted
+// alpha + beta*N multi-line transfer law (§IV.A.4) inside Eq. 1 — the tree
+// is re-optimized per message size, so the fanout/depth trade-off shifts as
+// the per-child copy gets more expensive.
+#pragma once
+
+#include "coll/runtime.hpp"
+#include "model/tree_opt.hpp"
+
+namespace capmem::coll {
+
+class Recorder;
+
+/// Deterministic payload pattern; validation re-derives it per iteration.
+std::uint64_t payload_word(int it, std::uint64_t word_index);
+
+class TunedPayloadBroadcast {
+ public:
+  /// `payload_bytes` rounded up to whole lines. The tree should have been
+  /// optimized with the matching payload_lines.
+  TunedPayloadBroadcast(World& w, const model::TunedTree& tree,
+                        std::uint64_t payload_bytes);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  World* w_;
+  TileGroups groups_;
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::uint64_t payload_bytes_;
+  CellSet flags_;   // per group: flag + ack
+  sim::Addr bufs_;  // per group: payload staging buffer
+  sim::Addr buf_of(int group) const;
+};
+
+/// Flat baseline: every rank copies the s-line message straight from the
+/// root's buffer (the OpenMP-ish shape for large payloads).
+class FlatPayloadBroadcast {
+ public:
+  FlatPayloadBroadcast(World& w, std::uint64_t payload_bytes);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  std::uint64_t payload_bytes_;
+  CellSet flag_;
+  sim::Addr root_buf_;
+  sim::Addr local_bufs_;
+};
+
+}  // namespace capmem::coll

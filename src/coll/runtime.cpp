@@ -1,0 +1,62 @@
+#include "coll/runtime.hpp"
+
+#include <map>
+
+#include "common/check.hpp"
+
+namespace capmem::coll {
+
+using sim::Addr;
+
+CellSet::CellSet(sim::Machine& m, const char* name, int nranks,
+                 int slots_per_rank, sim::Placement place)
+    : nranks_(nranks), slots_(slots_per_rank) {
+  CAPMEM_CHECK(nranks >= 1 && slots_per_rank >= 1);
+  base_ = m.alloc(name,
+                  static_cast<std::uint64_t>(nranks) *
+                      static_cast<std::uint64_t>(slots_per_rank) * kLineBytes,
+                  place, /*with_data=*/true);
+}
+
+Addr CellSet::flag(int rank, int slot) const {
+  CAPMEM_CHECK(rank >= 0 && rank < nranks_ && slot >= 0 && slot < slots_);
+  return base_ + (static_cast<std::uint64_t>(rank) *
+                      static_cast<std::uint64_t>(slots_) +
+                  static_cast<std::uint64_t>(slot)) *
+                     kLineBytes;
+}
+
+Addr CellSet::payload(int rank, int slot) const {
+  return flag(rank, slot) + 8;
+}
+
+int TileGroups::group_of_rank(int rank) const {
+  return group_index[static_cast<std::size_t>(rank)];
+}
+
+bool TileGroups::is_leader(int rank) const {
+  return leader_flag[static_cast<std::size_t>(rank)];
+}
+
+TileGroups group_by_tile(const World& w) {
+  TileGroups g;
+  g.group_index.assign(static_cast<std::size_t>(w.nranks()), -1);
+  g.leader_flag.assign(static_cast<std::size_t>(w.nranks()), false);
+  std::map<int, int> tile_to_group;
+  for (int r = 0; r < w.nranks(); ++r) {
+    const int tile = w.tile_of_rank(r);
+    auto [it, inserted] =
+        tile_to_group.try_emplace(tile, static_cast<int>(g.leaders.size()));
+    if (inserted) {
+      g.leaders.push_back(r);
+      g.members.emplace_back();
+      g.leader_flag[static_cast<std::size_t>(r)] = true;
+    } else {
+      g.members[static_cast<std::size_t>(it->second)].push_back(r);
+    }
+    g.group_index[static_cast<std::size_t>(r)] = it->second;
+  }
+  return g;
+}
+
+}  // namespace capmem::coll

@@ -1,0 +1,67 @@
+// Shared-memory collective runtime on the simulated machine.
+//
+// Communication cells follow the paper's design: each rank owns one cache
+// line holding a sequence flag and an 8-byte payload *in the same line*
+// (so a consumer pays one transfer for flag + data, the R_I + R_L term of
+// Eq. 1), plus a separate ack line. Iterations are distinguished by
+// monotonically increasing sequence numbers, so no flags ever need
+// resetting and every wait is wait_eq(flag, seq).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace capmem::coll {
+
+/// Per-rank communication cells for one collective instance.
+class CellSet {
+ public:
+  /// Allocates cells for `nranks` ranks; `slots_per_rank` independent flag
+  /// lines each (dissemination needs one per (round, peer slot)).
+  CellSet(sim::Machine& m, const char* name, int nranks, int slots_per_rank,
+          sim::Placement place);
+
+  /// Flag word of (rank, slot) — first 8 bytes of the cell line.
+  sim::Addr flag(int rank, int slot = 0) const;
+  /// Payload word of (rank, slot) — second 8 bytes, same line.
+  sim::Addr payload(int rank, int slot = 0) const;
+
+  int ranks() const { return nranks_; }
+  int slots() const { return slots_; }
+
+ private:
+  sim::Addr base_ = 0;
+  int nranks_ = 0;
+  int slots_ = 0;
+};
+
+/// Rank -> pinning map plus common collective-world context.
+struct World {
+  sim::Machine* machine = nullptr;
+  std::vector<sim::CpuSlot> slots;  // rank -> cpu
+  sim::Placement place;             // where the cells live
+
+  int nranks() const { return static_cast<int>(slots.size()); }
+  int tile_of_rank(int rank) const {
+    return machine->topology().tile_of_core(
+        slots[static_cast<std::size_t>(rank)].core);
+  }
+};
+
+/// Groups ranks by tile: leaders[i] is the first rank on tile-group i, and
+/// members[i] lists the other ranks on that tile (intra-tile stage).
+struct TileGroups {
+  std::vector<int> leaders;
+  std::vector<std::vector<int>> members;  // parallel to leaders
+  int group_of_rank(int rank) const;      // index into leaders
+  bool is_leader(int rank) const;
+
+  std::vector<int> group_index;  // rank -> group
+  std::vector<bool> leader_flag; // rank -> leader?
+};
+
+TileGroups group_by_tile(const World& w);
+
+}  // namespace capmem::coll

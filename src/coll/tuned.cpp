@@ -1,0 +1,256 @@
+#include "coll/tuned.hpp"
+
+#include "coll/harness.hpp"
+#include "common/check.hpp"
+
+namespace capmem::coll {
+
+using sim::Addr;
+using sim::Ctx;
+using sim::Task;
+
+std::uint64_t bcast_value(int it) {
+  return static_cast<std::uint64_t>(it) * 2654435761ull + 1;
+}
+
+std::uint64_t reduce_contrib(int rank, int it) {
+  return static_cast<std::uint64_t>(rank) * 7 +
+         static_cast<std::uint64_t>(it) + 1;
+}
+
+std::uint64_t reduce_expected(int nranks, int it) {
+  std::uint64_t total = 0;
+  for (int r = 0; r < nranks; ++r) total += reduce_contrib(r, it);
+  return total;
+}
+
+namespace {
+void flatten(const model::TreeNode& node, int parent, TreePlan& plan) {
+  const int id = static_cast<int>(plan.parent.size());
+  plan.parent.push_back(parent);
+  plan.children.emplace_back();
+  if (parent >= 0) plan.children[static_cast<std::size_t>(parent)].push_back(id);
+  for (const model::TreeNode& c : node.children) flatten(c, id, plan);
+}
+}  // namespace
+
+TreePlan flatten_tree(const model::TreeNode& root) {
+  TreePlan plan;
+  flatten(root, -1, plan);
+  return plan;
+}
+
+// --------------------------------------------------------------- broadcast
+
+TunedBroadcast::TunedBroadcast(World& w, const model::TunedTree& tree)
+    : w_(&w),
+      groups_(group_by_tile(w)),
+      plan_(flatten_tree(tree.root)),
+      cells_(*w.machine, "bc_cells", static_cast<int>(groups_.leaders.size()),
+             1, w.place),
+      acks_(*w.machine, "bc_acks", static_cast<int>(groups_.leaders.size()),
+            1, w.place) {
+  CAPMEM_CHECK_MSG(plan_.parent.size() == groups_.leaders.size(),
+                   "tuned tree size must equal the tile-group count");
+}
+
+sim::Machine::Program TunedBroadcast::program(int rank, int iters,
+                                              Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int g = groups_.group_of_rank(rank);
+    const bool leader = groups_.is_leader(rank);
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      std::uint64_t v = 0;
+      if (leader) {
+        if (plan_.parent[static_cast<std::size_t>(g)] < 0) {
+          v = bcast_value(it);  // root originates the payload
+        } else {
+          const int pg = plan_.parent[static_cast<std::size_t>(g)];
+          co_await ctx.wait_eq(cells_.flag(pg), seq);
+          v = co_await ctx.read_u64(cells_.payload(pg));
+          // Ack so the parent knows the payload was copied out.
+          co_await ctx.write_u64(acks_.flag(g), seq);
+        }
+        // Publish for my tree children and my tile members: payload first,
+        // flag second (same line: one coherence transfer for consumers).
+        const bool has_consumers =
+            !plan_.children[static_cast<std::size_t>(g)].empty() ||
+            !groups_.members[static_cast<std::size_t>(g)].empty();
+        if (has_consumers) {
+          co_await ctx.write_u64(cells_.payload(g), v);
+          co_await ctx.write_u64(cells_.flag(g), seq);
+        }
+        for (int cg : plan_.children[static_cast<std::size_t>(g)]) {
+          co_await ctx.wait_eq(acks_.flag(cg), seq);
+        }
+      } else {
+        co_await ctx.wait_eq(cells_.flag(g), seq);
+        v = co_await ctx.read_u64(cells_.payload(g));
+      }
+      if (v != bcast_value(it)) rec->flag_error();
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+// ------------------------------------------------------------------ reduce
+
+TunedReduce::TunedReduce(World& w, const model::TunedTree& tree)
+    : w_(&w),
+      groups_(group_by_tile(w)),
+      plan_(flatten_tree(tree.root)),
+      rank_cells_(*w.machine, "rd_cells", w.nranks(), 1, w.place) {
+  CAPMEM_CHECK(plan_.parent.size() == groups_.leaders.size());
+}
+
+sim::Machine::Program TunedReduce::program(int rank, int iters,
+                                           Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int g = groups_.group_of_rank(rank);
+    const bool leader = groups_.is_leader(rank);
+    const int nranks = w_->nranks();
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      if (!leader) {
+        // Publish my contribution for the tile leader.
+        co_await ctx.write_u64(rank_cells_.payload(rank),
+                               reduce_contrib(rank, it));
+        co_await ctx.write_u64(rank_cells_.flag(rank), seq);
+      } else {
+        std::uint64_t acc = reduce_contrib(rank, it);
+        // Intra-tile gather (cheap polling within the tile).
+        for (int mr : groups_.members[static_cast<std::size_t>(g)]) {
+          co_await ctx.wait_eq(rank_cells_.flag(mr), seq);
+          acc += co_await ctx.read_u64(rank_cells_.payload(mr));
+        }
+        // Inter-tile gather from my tree children's leaders.
+        for (int cg : plan_.children[static_cast<std::size_t>(g)]) {
+          const int cr = groups_.leaders[static_cast<std::size_t>(cg)];
+          co_await ctx.wait_eq(rank_cells_.flag(cr), seq);
+          acc += co_await ctx.read_u64(rank_cells_.payload(cr));
+        }
+        if (plan_.parent[static_cast<std::size_t>(g)] >= 0) {
+          co_await ctx.write_u64(rank_cells_.payload(rank), acc);
+          co_await ctx.write_u64(rank_cells_.flag(rank), seq);
+        } else if (acc != reduce_expected(nranks, it)) {
+          rec->flag_error();
+        }
+      }
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+// --------------------------------------------------------------- allreduce
+
+TunedAllreduce::TunedAllreduce(World& w, const model::TunedTree& reduce_tree,
+                               const model::TunedTree& bcast_tree)
+    : w_(&w),
+      groups_(group_by_tile(w)),
+      rplan_(flatten_tree(reduce_tree.root)),
+      bplan_(flatten_tree(bcast_tree.root)),
+      rank_cells_(*w.machine, "ar_rd", w.nranks(), 1, w.place),
+      bc_cells_(*w.machine, "ar_bc",
+                static_cast<int>(groups_.leaders.size()), 1, w.place),
+      acks_(*w.machine, "ar_ack",
+            static_cast<int>(groups_.leaders.size()), 1, w.place) {
+  CAPMEM_CHECK(rplan_.parent.size() == groups_.leaders.size());
+  CAPMEM_CHECK(bplan_.parent.size() == groups_.leaders.size());
+}
+
+sim::Machine::Program TunedAllreduce::program(int rank, int iters,
+                                              Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int g = groups_.group_of_rank(rank);
+    const bool leader = groups_.is_leader(rank);
+    const int nranks = w_->nranks();
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      std::uint64_t result = 0;
+      if (!leader) {
+        // Reduce phase: publish contribution, then wait for the broadcast
+        // of the total from my tile leader.
+        co_await ctx.write_u64(rank_cells_.payload(rank),
+                               reduce_contrib(rank, it));
+        co_await ctx.write_u64(rank_cells_.flag(rank), seq);
+        co_await ctx.wait_eq(bc_cells_.flag(g), seq);
+        result = co_await ctx.read_u64(bc_cells_.payload(g));
+      } else {
+        // Reduce up the reduce tree.
+        std::uint64_t acc = reduce_contrib(rank, it);
+        for (int mr : groups_.members[static_cast<std::size_t>(g)]) {
+          co_await ctx.wait_eq(rank_cells_.flag(mr), seq);
+          acc += co_await ctx.read_u64(rank_cells_.payload(mr));
+        }
+        for (int cg : rplan_.children[static_cast<std::size_t>(g)]) {
+          const int cr = groups_.leaders[static_cast<std::size_t>(cg)];
+          co_await ctx.wait_eq(rank_cells_.flag(cr), seq);
+          acc += co_await ctx.read_u64(rank_cells_.payload(cr));
+        }
+        if (rplan_.parent[static_cast<std::size_t>(g)] >= 0) {
+          co_await ctx.write_u64(rank_cells_.payload(rank), acc);
+          co_await ctx.write_u64(rank_cells_.flag(rank), seq);
+        }
+        // Broadcast the total down the broadcast tree.
+        if (bplan_.parent[static_cast<std::size_t>(g)] < 0) {
+          result = acc;  // root holds the global sum
+        } else {
+          const int pg = bplan_.parent[static_cast<std::size_t>(g)];
+          co_await ctx.wait_eq(bc_cells_.flag(pg), seq);
+          result = co_await ctx.read_u64(bc_cells_.payload(pg));
+          co_await ctx.write_u64(acks_.flag(g), seq);
+        }
+        co_await ctx.write_u64(bc_cells_.payload(g), result);
+        co_await ctx.write_u64(bc_cells_.flag(g), seq);
+        for (int cg : bplan_.children[static_cast<std::size_t>(g)]) {
+          co_await ctx.wait_eq(acks_.flag(cg), seq);
+        }
+      }
+      if (result != reduce_expected(nranks, it)) rec->flag_error();
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+// ----------------------------------------------------------------- barrier
+
+TunedBarrier::TunedBarrier(World& w, const model::TunedDissemination& diss)
+    : w_(&w),
+      rounds_(diss.rounds > 0 ? diss.rounds : 1),
+      m_(diss.m),
+      flags_(*w.machine, "bar_flags", w.nranks(),
+             (diss.rounds > 0 ? diss.rounds : 1) * diss.m, w.place) {}
+
+sim::Machine::Program TunedBarrier::program(int rank, int iters,
+                                            Recorder* rec) {
+  return [this, rank, iters, rec](Ctx& ctx) -> Task {
+    const int n = w_->nranks();
+    for (int it = 0; it < iters; ++it) {
+      co_await ctx.sync();
+      const Nanos t0 = ctx.now();
+      const std::uint64_t seq = static_cast<std::uint64_t>(it) + 1;
+      long long stride = 1;  // (m+1)^j
+      for (int j = 0; j < rounds_; ++j) {
+        for (int c = 1; c <= m_; ++c) {
+          const int peer =
+              static_cast<int>((rank + c * stride) % n);
+          co_await ctx.write_u64(flags_.flag(peer, j * m_ + (c - 1)), seq);
+        }
+        for (int c = 1; c <= m_; ++c) {
+          co_await ctx.wait_eq(flags_.flag(rank, j * m_ + (c - 1)), seq);
+        }
+        stride *= (m_ + 1);
+      }
+      rec->record(rank, it, ctx.now() - t0);
+    }
+  };
+}
+
+}  // namespace capmem::coll

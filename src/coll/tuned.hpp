@@ -1,0 +1,90 @@
+// Model-tuned collectives (paper §IV.B): the optimizer's tree / (r, m)
+// choice executed on the simulated machine.
+//
+// Broadcast / reduce: the tuned inter-tile tree runs between tile-leader
+// ranks; the remaining ranks of each tile are served by a flat intra-tile
+// stage (cheap polling isolated from the expensive inter-tile polling).
+// Barrier: a global generalized dissemination with the tuned fanout m.
+#pragma once
+
+#include "coll/runtime.hpp"
+#include "model/dissemination_opt.hpp"
+#include "model/tree_opt.hpp"
+
+namespace capmem::coll {
+
+class Recorder;
+
+/// Expected broadcast payload for iteration `it` (validation).
+std::uint64_t bcast_value(int it);
+/// Per-rank reduce contribution and the expected total.
+std::uint64_t reduce_contrib(int rank, int it);
+std::uint64_t reduce_expected(int nranks, int it);
+
+/// Tree flattened over tile groups: preorder node k <-> tile group k.
+struct TreePlan {
+  std::vector<int> parent;                 ///< group -> parent group (-1 root)
+  std::vector<std::vector<int>> children;  ///< group -> child groups
+};
+TreePlan flatten_tree(const model::TreeNode& root);
+
+class TunedBroadcast {
+ public:
+  /// `w` must outlive the machine run.
+  TunedBroadcast(World& w, const model::TunedTree& tree);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  TileGroups groups_;
+  TreePlan plan_;
+  CellSet cells_;  // per group: payload + flag
+  CellSet acks_;   // per group: ack to its parent
+};
+
+class TunedReduce {
+ public:
+  TunedReduce(World& w, const model::TunedTree& tree);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  TileGroups groups_;
+  TreePlan plan_;
+  CellSet rank_cells_;   // per rank: member / leader partial contributions
+};
+
+/// Allreduce = tuned reduce up the tree, then tuned broadcast of the
+/// result down the same tree (extension beyond the paper's three
+/// collectives; every rank ends with the global sum).
+class TunedAllreduce {
+ public:
+  TunedAllreduce(World& w, const model::TunedTree& reduce_tree,
+                 const model::TunedTree& bcast_tree);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+
+ private:
+  World* w_;
+  TileGroups groups_;
+  TreePlan rplan_;
+  TreePlan bplan_;
+  CellSet rank_cells_;  // reduce phase
+  CellSet bc_cells_;    // broadcast phase
+  CellSet acks_;
+};
+
+class TunedBarrier {
+ public:
+  TunedBarrier(World& w, const model::TunedDissemination& diss);
+  sim::Machine::Program program(int rank, int iters, Recorder* rec);
+  int rounds() const { return rounds_; }
+  int fanout() const { return m_; }
+
+ private:
+  World* w_;
+  int rounds_;
+  int m_;
+  CellSet flags_;  // per rank: rounds * m flag slots
+};
+
+}  // namespace capmem::coll

@@ -1,0 +1,113 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace capmem {
+
+namespace {
+double maybe_log(double v, bool log_scale) {
+  if (!log_scale) return v;
+  CAPMEM_CHECK_MSG(v > 0, "log-scale plot with non-positive value");
+  return std::log10(v);
+}
+}  // namespace
+
+void ascii_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                const PlotOptions& opts) {
+  CAPMEM_CHECK(opts.width >= 10 && opts.height >= 4);
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const PlotSeries& s : series) {
+    CAPMEM_CHECK(s.xs.size() == s.ys.size());
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double x = maybe_log(s.xs[i], opts.log_x);
+      const double y = maybe_log(s.ys[i], opts.log_y);
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+      any = true;
+    }
+  }
+  if (!any) {
+    os << "(empty plot)\n";
+    return;
+  }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(opts.height),
+      std::string(static_cast<std::size_t>(opts.width), ' '));
+  auto col_of = [&](double x) {
+    return std::clamp(
+        static_cast<int>(std::lround((maybe_log(x, opts.log_x) - xmin) /
+                                     (xmax - xmin) * (opts.width - 1))),
+        0, opts.width - 1);
+  };
+  auto row_of = [&](double y) {
+    return std::clamp(
+        static_cast<int>(std::lround((maybe_log(y, opts.log_y) - ymin) /
+                                     (ymax - ymin) * (opts.height - 1))),
+        0, opts.height - 1);
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = static_cast<char>('a' + (si % 26));
+    const PlotSeries& s = series[si];
+    // Connect consecutive points with interpolated marks, then stamp the
+    // points themselves.
+    for (std::size_t i = 1; i < s.xs.size(); ++i) {
+      const int c0 = col_of(s.xs[i - 1]), c1 = col_of(s.xs[i]);
+      const int r0 = row_of(s.ys[i - 1]), r1 = row_of(s.ys[i]);
+      const int steps = std::max({std::abs(c1 - c0), std::abs(r1 - r0), 1});
+      for (int k = 0; k <= steps; ++k) {
+        const int c = c0 + (c1 - c0) * k / steps;
+        const int r = r0 + (r1 - r0) * k / steps;
+        grid[static_cast<std::size_t>(opts.height - 1 - r)]
+            [static_cast<std::size_t>(c)] = '.';
+      }
+    }
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      grid[static_cast<std::size_t>(opts.height - 1 - row_of(s.ys[i]))]
+          [static_cast<std::size_t>(col_of(s.xs[i]))] = mark;
+    }
+  }
+
+  if (!opts.title.empty()) os << opts.title << '\n';
+  auto unlog = [](double v, bool log_scale) {
+    return log_scale ? std::pow(10.0, v) : v;
+  };
+  for (int r = 0; r < opts.height; ++r) {
+    const double y =
+        ymax - (ymax - ymin) * r / std::max(1, opts.height - 1);
+    std::ostringstream lab;
+    lab << std::setw(10) << fmt_num(unlog(y, opts.log_y), 1);
+    os << lab.str() << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(10, ' ') << " +" << std::string(
+      static_cast<std::size_t>(opts.width), '-')
+     << '\n';
+  os << std::string(12, ' ') << fmt_num(unlog(xmin, opts.log_x), 1)
+     << std::string(static_cast<std::size_t>(std::max(4, opts.width - 16)),
+                    ' ')
+     << fmt_num(unlog(xmax, opts.log_x), 1);
+  if (!opts.x_label.empty()) os << "  (" << opts.x_label << ")";
+  os << '\n';
+  // Legend.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << static_cast<char>('a' + (si % 26)) << " = "
+       << series[si].name << '\n';
+  }
+  if (!opts.y_label.empty()) os << "  y: " << opts.y_label << '\n';
+}
+
+}  // namespace capmem

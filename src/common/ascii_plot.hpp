@@ -1,0 +1,34 @@
+// ASCII line/scatter plots for the figure benches: every fig*_ binary
+// renders its series as a terminal chart next to the numeric table, so the
+// reproduced figures can be eyeballed against the paper without plotting
+// tools.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capmem {
+
+struct PlotSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot area columns
+  int height = 20;   ///< plot area rows
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders series as an ASCII chart. Each series uses its own marker
+/// (a, b, c, ...); overlapping points show the later series' marker.
+void ascii_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                const PlotOptions& opts = {});
+
+}  // namespace capmem

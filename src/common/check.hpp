@@ -1,0 +1,57 @@
+// Lightweight precondition / invariant checking for capmem.
+//
+// CAPMEM_CHECK is always on (argument validation on public API boundaries,
+// following I.5/I.6 of the C++ Core Guidelines: state preconditions and check
+// them where cheap). CAPMEM_DCHECK compiles out in NDEBUG builds and is used
+// on hot simulator paths for protocol invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace capmem {
+
+/// Thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace capmem
+
+#define CAPMEM_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::capmem::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define CAPMEM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg;                                                       \
+      ::capmem::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                     os_.str());                        \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define CAPMEM_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define CAPMEM_DCHECK(cond) CAPMEM_CHECK(cond)
+#endif

@@ -1,0 +1,80 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/check.hpp"
+
+namespace capmem {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    CAPMEM_CHECK_MSG(arg.rfind("--", 0) == 0,
+                     "options must start with --, got '" << arg << "'");
+    arg = arg.substr(2);
+    if (arg == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::string Cli::get_string(const std::string& name, std::string def,
+                            const std::string& help) {
+  declared_[name] = {help, def};
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def,
+                          const std::string& help) {
+  declared_[name] = {help, std::to_string(def)};
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double def,
+                       const std::string& help) {
+  declared_[name] = {help, std::to_string(def)};
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+bool Cli::get_flag(const std::string& name, bool def,
+                   const std::string& help) {
+  declared_[name] = {help, def ? "true" : "false"};
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+void Cli::finish() {
+  if (help_requested_) {
+    std::cout << "usage: " << program_ << " [options]\n";
+    for (const auto& [name, decl] : declared_) {
+      std::cout << "  --" << name << " (default: " << decl.def << ")";
+      if (!decl.help.empty()) std::cout << "  " << decl.help;
+      std::cout << '\n';
+    }
+    std::exit(0);
+  }
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    CAPMEM_CHECK_MSG(declared_.count(name) != 0,
+                     "unknown option --" << name);
+  }
+}
+
+}  // namespace capmem

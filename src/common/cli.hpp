@@ -1,0 +1,52 @@
+// Minimal command-line option parsing for the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag`. Unknown
+// options are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace capmem {
+
+class Cli {
+ public:
+  /// Parses argv. Throws CheckError on malformed or unknown options once
+  /// `finish()` is called (options are declared by the get_* calls between
+  /// construction and finish()).
+  Cli(int argc, const char* const* argv);
+
+  /// Declares and reads a string option with a default.
+  std::string get_string(const std::string& name, std::string def,
+                         const std::string& help = {});
+  /// Declares and reads an integer option with a default.
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help = {});
+  /// Declares and reads a floating-point option with a default.
+  double get_double(const std::string& name, double def,
+                    const std::string& help = {});
+  /// Declares and reads a boolean flag (present => true, or --x=false).
+  bool get_flag(const std::string& name, bool def = false,
+                const std::string& help = {});
+
+  /// Validates that every supplied option was declared; prints usage and
+  /// exits(0) when --help was given. Call once after all get_* calls.
+  void finish();
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Decl {
+    std::string help;
+    std::string def;
+  };
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, Decl> declared_;
+  bool help_requested_ = false;
+};
+
+}  // namespace capmem

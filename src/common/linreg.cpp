@@ -1,0 +1,37 @@
+#include "common/linreg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace capmem {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  CAPMEM_CHECK(xs.size() == ys.size());
+  LinearFit fit;
+  const std::size_t n = xs.size();
+  if (n == 0) return fit;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || n < 2) {
+    fit.alpha = my;
+    fit.beta = 0.0;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.beta = sxy / sxx;
+  fit.alpha = my - fit.beta * mx;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace capmem

@@ -1,0 +1,27 @@
+// Ordinary least squares fitting for the model layer.
+//
+// The paper fits two linear laws by regression: the 1:N contention cost
+// T_C(N) = alpha + beta*N (Table I) and the multi-line transfer latency
+// alpha + beta*N_lines (Section IV.A.4), plus the sort overhead model
+// (Section V.B.2). This is the shared implementation.
+#pragma once
+
+#include <span>
+
+namespace capmem {
+
+/// Result of fitting y = alpha + beta * x.
+struct LinearFit {
+  double alpha = 0;  ///< intercept
+  double beta = 0;   ///< slope
+  double r2 = 0;     ///< coefficient of determination
+  /// Predicted value at `x`.
+  double operator()(double x) const { return alpha + beta * x; }
+};
+
+/// Fits y = alpha + beta*x by OLS. Requires xs.size() == ys.size() >= 2 and
+/// at least two distinct x values; otherwise returns a flat fit through the
+/// mean with r2 = 0.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace capmem

@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace capmem {
+
+LogLevel log_level() {
+  static const LogLevel level = [] {
+    const char* env = std::getenv("CAPMEM_LOG");
+    if (env == nullptr) return LogLevel::kInfo;
+    const std::string s = env;
+    if (s == "error") return LogLevel::kError;
+    if (s == "warn") return LogLevel::kWarn;
+    if (s == "debug") return LogLevel::kDebug;
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  const char* tag = "info";
+  switch (level) {
+    case LogLevel::kError: tag = "error"; break;
+    case LogLevel::kWarn: tag = "warn"; break;
+    case LogLevel::kInfo: tag = "info"; break;
+    case LogLevel::kDebug: tag = "debug"; break;
+  }
+  std::cerr << "[capmem:" << tag << "] " << msg << '\n';
+}
+
+}  // namespace capmem

@@ -1,0 +1,41 @@
+// Tiny leveled logger. Benches use it for progress lines on stderr so stdout
+// stays machine-parseable. Level is taken from $CAPMEM_LOG (error|warn|info|
+// debug), default info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace capmem {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current process-wide log level (read once from the environment).
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace capmem
+
+#define CAPMEM_LOG_INFO ::capmem::detail::LogStream(::capmem::LogLevel::kInfo)
+#define CAPMEM_LOG_WARN ::capmem::detail::LogStream(::capmem::LogLevel::kWarn)
+#define CAPMEM_LOG_DEBUG \
+  ::capmem::detail::LogStream(::capmem::LogLevel::kDebug)

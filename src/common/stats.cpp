@@ -1,0 +1,103 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace capmem {
+
+double quantile(std::span<const double> xs, double q) {
+  CAPMEM_CHECK(q >= 0.0 && q <= 1.0);
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  auto at_q = [&](double q) {
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+  };
+  s.min = v.front();
+  s.max = v.back();
+  s.q1 = at_q(0.25);
+  s.median = at_q(0.5);
+  s.q3 = at_q(0.75);
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+
+  // Distribution-free 95% CI for the median from order statistics:
+  // ranks n/2 ± 1.96*sqrt(n)/2 (normal approximation to the binomial).
+  const double nn = static_cast<double>(v.size());
+  const double half = 1.96 * std::sqrt(nn) / 2.0;
+  auto clamp_idx = [&](double r) {
+    return static_cast<std::size_t>(
+        std::clamp(r, 0.0, nn - 1.0));
+  };
+  s.median_ci_lo = v[clamp_idx(nn / 2.0 - half - 1.0)];
+  s.median_ci_hi = v[clamp_idx(nn / 2.0 + half)];
+  return s;
+}
+
+bool Summary::median_within(double frac) const {
+  if (median == 0.0) return median_ci_lo == 0.0 && median_ci_hi == 0.0;
+  const double half =
+      std::max(median - median_ci_lo, median_ci_hi - median);
+  return half <= frac * std::abs(median);
+}
+
+std::string Summary::str() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << median << " [" << median_ci_lo << "," << median_ci_hi
+     << "] n=" << n;
+  return os.str();
+}
+
+std::vector<double> elementwise_max(
+    const std::vector<std::vector<double>>& series) {
+  if (series.empty()) return {};
+  const std::size_t len = series.front().size();
+  for (const auto& s : series) CAPMEM_CHECK(s.size() == len);
+  std::vector<double> out(len, 0.0);
+  for (std::size_t i = 0; i < len; ++i) {
+    double m = series.front()[i];
+    for (const auto& s : series) m = std::max(m, s[i]);
+    out[i] = m;
+  }
+  return out;
+}
+
+}  // namespace capmem

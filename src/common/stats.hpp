@@ -1,0 +1,58 @@
+// Robust summary statistics used by the measurement layer.
+//
+// The paper reports medians ("within 10% of the 95% confidence intervals"),
+// boxplots for the collective experiments, and maxima across threads per
+// iteration. This module provides exactly those estimators.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace capmem {
+
+/// Five-number summary plus mean/CI, the shape behind the paper's boxplots.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0;
+  double q1 = 0;      ///< 25th percentile
+  double median = 0;  ///< 50th percentile
+  double q3 = 0;      ///< 75th percentile
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;        ///< sample standard deviation
+  double median_ci_lo = 0;  ///< 95% CI of the median (order-statistic method)
+  double median_ci_hi = 0;
+
+  /// Interquartile range.
+  double iqr() const { return q3 - q1; }
+  /// True when the median CI half-width is within `frac` of the median,
+  /// the acceptance criterion the paper states for its tables.
+  bool median_within(double frac) const;
+  /// Short human-readable rendering, e.g. "118.2 [113.9,121.0] n=1000".
+  std::string str() const;
+};
+
+/// Computes the full summary of `xs`. Empty input yields a zero summary.
+Summary summarize(std::span<const double> xs);
+
+/// Quantile with linear interpolation between closest ranks, q in [0,1].
+double quantile(std::span<const double> xs, double q);
+
+/// Median (convenience wrapper over `quantile`).
+double median(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Element-wise maximum across equally sized series (the "maximum measured
+/// per iteration across threads" reduction used by the Xeon Phi benchmarks).
+/// All inner series must have the same length.
+std::vector<double> elementwise_max(
+    const std::vector<std::vector<double>>& series);
+
+}  // namespace capmem

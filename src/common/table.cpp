@@ -1,0 +1,90 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace capmem {
+
+std::string fmt_num(double v, int prec) {
+  if (!std::isfinite(v)) return "nan";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+void Table::set_header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_nums(const std::string& label,
+                         std::initializer_list<double> values, int prec) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt_num(v, prec));
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[i]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ',';
+      os << quote(r[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace capmem

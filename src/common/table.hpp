@@ -1,0 +1,49 @@
+// ASCII / CSV table emission for the bench binaries.
+//
+// Every bench target prints the paper's table or figure series both as an
+// aligned text table (human inspection) and as CSV (plotting). The builder is
+// row-major: set headers once, then append stringified cells.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capmem {
+
+/// Formats a double with `prec` significant-ish decimal digits, trimming
+/// trailing zeros ("118", "3.8", "0.25").
+std::string fmt_num(double v, int prec = 3);
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Replaces the header row.
+  void set_header(std::vector<std::string> cols);
+
+  /// Appends a row of already formatted cells. Rows may be ragged; printing
+  /// pads to the widest row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats every value with fmt_num.
+  void add_row_nums(const std::string& label,
+                    std::initializer_list<double> values, int prec = 3);
+
+  /// Writes an aligned text rendering.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace capmem

@@ -1,0 +1,37 @@
+// Strong-ish unit helpers used throughout the library.
+//
+// Simulated time is kept as double nanoseconds (picosecond-scale resolution is
+// irrelevant for this model; doubles keep the fitting math simple). Bandwidth
+// is reported in GB/s = bytes / ns.
+#pragma once
+
+#include <cstdint>
+
+namespace capmem {
+
+/// Simulated time in nanoseconds.
+using Nanos = double;
+
+/// Bandwidth in GB/s. Numerically equal to bytes-per-nanosecond.
+using GBps = double;
+
+/// One cache line, the unit of coherence and of cost accounting.
+inline constexpr std::uint64_t kLineBytes = 64;
+
+constexpr std::uint64_t KiB(std::uint64_t n) { return n * 1024ull; }
+constexpr std::uint64_t MiB(std::uint64_t n) { return n * 1024ull * 1024ull; }
+constexpr std::uint64_t GiB(std::uint64_t n) {
+  return n * 1024ull * 1024ull * 1024ull;
+}
+
+/// Bandwidth achieved when moving `bytes` in `ns` simulated nanoseconds.
+constexpr GBps bandwidth_gbps(std::uint64_t bytes, Nanos ns) {
+  return ns > 0.0 ? static_cast<double>(bytes) / ns : 0.0;
+}
+
+/// Number of cache lines covering `bytes` (rounded up).
+constexpr std::uint64_t lines_for(std::uint64_t bytes) {
+  return (bytes + kLineBytes - 1) / kLineBytes;
+}
+
+}  // namespace capmem

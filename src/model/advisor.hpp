@@ -1,0 +1,35 @@
+// Memory-placement advisor (extension; paper §VII: "when using a flat mode,
+// we need performance models in order to decide which data has to be
+// allocated in which memory"). Given an application profile, the advisor
+// uses the fitted capability model to recommend a memory kind and predict
+// the achievable bandwidth/latency, with the reasoning spelled out.
+#pragma once
+
+#include <string>
+
+#include "model/params.hpp"
+
+namespace capmem::model {
+
+/// Coarse application profile, in the terms the capability model speaks.
+struct AppProfile {
+  std::uint64_t working_set_bytes = 0;
+  int threads = 1;
+  /// 0 = pure latency-bound pointer chasing, 1 = pure streaming.
+  double streaming_fraction = 1.0;
+  /// Does the thread count decay over the run (e.g. tree reductions,
+  /// merge sorts)? Such apps rarely benefit from MCDRAM (paper §V.B).
+  bool thread_decay = false;
+};
+
+struct Advice {
+  sim::MemKind kind = sim::MemKind::kDDR;
+  double expected_gbps = 0;       ///< at the profile's thread count
+  double expected_latency_ns = 0;
+  double speedup_vs_other = 1.0;  ///< predicted gain over the other kind
+  std::string reasoning;          ///< human-readable justification
+};
+
+Advice advise(const CapabilityModel& m, const AppProfile& profile);
+
+}  // namespace capmem::model

@@ -1,0 +1,88 @@
+#include "model/collective_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace capmem::model {
+
+ThreadLayout layout_for(int nthreads, int tiles_available,
+                        int threads_per_tile_max, bool scatter) {
+  CAPMEM_CHECK(nthreads >= 1 && tiles_available >= 1 &&
+               threads_per_tile_max >= 1);
+  CAPMEM_CHECK(nthreads <= tiles_available * threads_per_tile_max);
+  ThreadLayout lay;
+  lay.nthreads = nthreads;
+  if (scatter) {
+    lay.tiles = std::min(nthreads, tiles_available);
+    lay.threads_per_tile = (nthreads + lay.tiles - 1) / lay.tiles;
+  } else {
+    // Fill tiles: use as few tiles as possible.
+    lay.threads_per_tile = std::min(nthreads, threads_per_tile_max);
+    lay.tiles = (nthreads + lay.threads_per_tile - 1) / lay.threads_per_tile;
+  }
+  return lay;
+}
+
+double intra_tile_cost(const CapabilityModel& m, int threads_per_tile,
+                       TreeKind kind) {
+  if (threads_per_tile <= 1) return 0.0;
+  const int k = threads_per_tile - 1;
+  // Flat stage inside the tile: the leader publishes (or collects) through
+  // the shared L2; polling is cheap and isolated from the inter-tile level
+  // (the paper's expensive/cheap polling separation).
+  if (kind == TreeKind::kBroadcast) {
+    return m.r_local + k * m.r_tile;
+  }
+  return m.r_local + k * (m.r_tile + m.r_local);
+}
+
+CostBand broadcast_band(const CapabilityModel& m, const ThreadLayout& lay,
+                        sim::MemKind buffer) {
+  const TunedTree tree =
+      optimize_tree(m, lay.tiles, TreeKind::kBroadcast, buffer);
+  CostBand band;
+  band.best_ns = tree.predicted_ns +
+                 intra_tile_cost(m, lay.threads_per_tile,
+                                 TreeKind::kBroadcast);
+  band.worst_ns = tree_cost(m, tree.root, TreeKind::kBroadcast, buffer,
+                            /*worst=*/true) +
+                  2.0 * intra_tile_cost(m, lay.threads_per_tile,
+                                        TreeKind::kBroadcast);
+  return band;
+}
+
+CostBand reduce_band(const CapabilityModel& m, const ThreadLayout& lay,
+                     sim::MemKind buffer) {
+  const TunedTree tree =
+      optimize_tree(m, lay.tiles, TreeKind::kReduce, buffer);
+  CostBand band;
+  band.best_ns =
+      tree.predicted_ns +
+      intra_tile_cost(m, lay.threads_per_tile, TreeKind::kReduce);
+  band.worst_ns = tree_cost(m, tree.root, TreeKind::kReduce, buffer,
+                            /*worst=*/true) +
+                  2.0 * intra_tile_cost(m, lay.threads_per_tile,
+                                        TreeKind::kReduce);
+  return band;
+}
+
+CostBand allreduce_band(const CapabilityModel& m, const ThreadLayout& lay,
+                        sim::MemKind buffer) {
+  const CostBand r = reduce_band(m, lay, buffer);
+  const CostBand b = broadcast_band(m, lay, buffer);
+  return CostBand{r.best_ns + b.best_ns, r.worst_ns + b.worst_ns};
+}
+
+CostBand barrier_band(const CapabilityModel& m, const ThreadLayout& lay,
+                      sim::MemKind buffer) {
+  const TunedDissemination d =
+      optimize_dissemination(m, lay.nthreads, buffer);
+  CostBand band;
+  band.best_ns = d.predicted_ns;
+  band.worst_ns =
+      dissemination_cost_worst(m, lay.nthreads, d.m, buffer);
+  return band;
+}
+
+}  // namespace capmem::model

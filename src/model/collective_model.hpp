@@ -1,0 +1,56 @@
+// Whole-collective cost predictions with min-max bands (paper §IV.B.3,
+// the black shadows of Figs. 6-8).
+//
+// Threads map onto tiles via a pinning layout; collectives are composed as
+//   broadcast/reduce: inter-tile tuned tree + flat intra-tile stage
+//   barrier:          global dissemination over all threads (the paper
+//                     found that intra-tile gather/broadcast stages do not
+//                     pay off, §IV.B.2)
+// Because polling outcomes are unpredictable, predictions are bands
+// [best, worst] (min-max model); the best case is what the tuner optimizes.
+#pragma once
+
+#include "model/dissemination_opt.hpp"
+#include "model/params.hpp"
+#include "model/tree_opt.hpp"
+
+namespace capmem::model {
+
+struct CostBand {
+  double best_ns = 0;
+  double worst_ns = 0;
+};
+
+/// How `nthreads` spread over tiles under a schedule: the number of tiles
+/// touched and the maximum threads per tile.
+struct ThreadLayout {
+  int nthreads = 1;
+  int tiles = 1;
+  int threads_per_tile = 1;
+};
+
+/// Layout for the paper's two schedules ("scatter": one thread per tile
+/// first; "fill tiles": both cores of a tile before the next tile).
+ThreadLayout layout_for(int nthreads, int tiles_available,
+                        int threads_per_tile_max, bool scatter);
+
+/// Flat intra-tile stage cost (leader distributes to / collects from the
+/// other threads of its tile).
+double intra_tile_cost(const CapabilityModel& m, int threads_per_tile,
+                       TreeKind kind);
+
+/// Tuned broadcast / reduce / barrier predictions.
+CostBand broadcast_band(const CapabilityModel& m, const ThreadLayout& lay,
+                        sim::MemKind buffer);
+CostBand reduce_band(const CapabilityModel& m, const ThreadLayout& lay,
+                     sim::MemKind buffer);
+CostBand barrier_band(const CapabilityModel& m, const ThreadLayout& lay,
+                      sim::MemKind buffer);
+
+/// Allreduce = tuned reduce followed by tuned broadcast over the same
+/// layout (extension: the paper tunes the two halves; their composition is
+/// the natural next collective).
+CostBand allreduce_band(const CapabilityModel& m, const ThreadLayout& lay,
+                        sim::MemKind buffer);
+
+}  // namespace capmem::model

@@ -1,0 +1,48 @@
+#include "model/dissemination_opt.hpp"
+
+#include "common/check.hpp"
+
+namespace capmem::model {
+
+int dissemination_rounds(int n, int m) {
+  CAPMEM_CHECK(n >= 1 && m >= 1);
+  int r = 0;
+  // Smallest r with (m+1)^r >= n, without pow() rounding surprises.
+  long long reach = 1;
+  while (reach < n) {
+    reach *= (m + 1);
+    ++r;
+  }
+  return r;
+}
+
+double dissemination_cost(const CapabilityModel& model, int n, int m,
+                          sim::MemKind buffer) {
+  const int r = dissemination_rounds(n, m);
+  return r * (model.r_mem(buffer) + m * model.r_remote);
+}
+
+double dissemination_cost_worst(const CapabilityModel& model, int n, int m,
+                                sim::MemKind buffer) {
+  const int r = dissemination_rounds(n, m);
+  return r * (model.r_mem(buffer) +
+              m * (model.r_remote + model.contention.beta * m));
+}
+
+TunedDissemination optimize_dissemination(const CapabilityModel& model,
+                                          int n, sim::MemKind buffer) {
+  CAPMEM_CHECK(n >= 1);
+  TunedDissemination best;
+  if (n == 1) return best;
+  for (int m = 1; m <= n - 1; ++m) {
+    const double c = dissemination_cost(model, n, m, buffer);
+    if (best.rounds == 0 || c < best.predicted_ns) {
+      best.m = m;
+      best.rounds = dissemination_rounds(n, m);
+      best.predicted_ns = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace capmem::model

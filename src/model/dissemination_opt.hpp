@@ -1,0 +1,34 @@
+// Model-tuned dissemination barrier (paper §IV.B.2, Eq. 2).
+//
+// A generalized dissemination barrier runs r rounds; in each round every
+// thread signals m peers and waits for m peers, with (m+1)^r >= n. The
+// model cost is T(r, m) = r * (R_I + m * R_R); the optimizer enumerates m.
+#pragma once
+
+#include "model/params.hpp"
+
+namespace capmem::model {
+
+struct TunedDissemination {
+  int rounds = 0;
+  int m = 1;  ///< peers signalled per round
+  double predicted_ns = 0;
+};
+
+/// Rounds needed for n threads with fanout m: ceil(log_{m+1}(n)).
+int dissemination_rounds(int n, int m);
+
+/// Eq. 2 cost for given (n, m). `buffer` locates the flag cells.
+double dissemination_cost(const CapabilityModel& model, int n, int m,
+                          sim::MemKind buffer);
+
+/// Pessimistic cost for the min-max band: every remote flag read contends
+/// with the other m readers of that round.
+double dissemination_cost_worst(const CapabilityModel& model, int n, int m,
+                                sim::MemKind buffer);
+
+/// Exact minimization over m in [1, n-1].
+TunedDissemination optimize_dissemination(const CapabilityModel& model,
+                                          int n, sim::MemKind buffer);
+
+}  // namespace capmem::model

@@ -1,0 +1,63 @@
+#include "model/efficiency.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace capmem::model {
+
+EfficiencyReport assess(const CapabilityModel& m,
+                        const std::vector<sim::ThreadCounters>& counters,
+                        double elapsed_ns, int threads, sim::MemKind kind) {
+  CAPMEM_CHECK(elapsed_ns > 0 && threads >= 1);
+  EfficiencyReport r;
+  for (const sim::ThreadCounters& c : counters) {
+    r.l1_hits += c.l1_hits;
+    r.l2_hits += c.l2_tile_hits;
+    r.remote_hits += c.remote_hits;
+    r.dram_lines += c.dram_lines + c.mc_cache_hits + c.mc_cache_misses;
+    r.mcdram_lines += c.mcdram_lines;
+    r.total_ops += c.line_ops;
+  }
+  if (r.total_ops == 0) {
+    r.verdict = "no memory operations recorded";
+    return r;
+  }
+  r.cache_hit_fraction =
+      static_cast<double>(r.l1_hits + r.l2_hits) /
+      static_cast<double>(r.total_ops);
+
+  const std::uint64_t mem_lines = r.dram_lines + r.mcdram_lines;
+  const double mem_bytes = static_cast<double>(mem_lines * kLineBytes);
+  r.memory_gbps = mem_bytes / elapsed_ns;
+  r.achievable_gbps = m.bw(kind).at_threads(threads);
+  if (r.achievable_gbps > 0) {
+    r.memory_efficiency = r.memory_gbps / r.achievable_gbps;
+    r.memory_bound_ns = mem_bytes / r.achievable_gbps;
+    r.overhead_fraction =
+        std::max(0.0, (elapsed_ns - r.memory_bound_ns) / elapsed_ns);
+  }
+
+  std::ostringstream os;
+  os << fmt_num(r.cache_hit_fraction * 100, 0) << "% of " << r.total_ops
+     << " line ops hit in cache; memory traffic ran at "
+     << fmt_num(r.memory_gbps, 1) << " GB/s ("
+     << fmt_num(r.memory_efficiency * 100, 0) << "% of the achievable "
+     << fmt_num(r.achievable_gbps, 1) << "); "
+     << fmt_num(r.overhead_fraction * 100, 0)
+     << "% of the wall time is not explained by memory traffic";
+  if (r.memory_bound()) {
+    os << " -> memory-bound";
+  } else if (r.cache_hit_fraction > 0.5) {
+    os << " -> cache-resident (L1/L2 traffic dominates; neither memory nor "
+          "overhead is the bottleneck)";
+  } else {
+    os << " -> NOT memory-bound (overhead-dominated)";
+  }
+  r.verdict = os.str();
+  return r;
+}
+
+}  // namespace capmem::model

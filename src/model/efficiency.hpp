@@ -1,0 +1,53 @@
+// Resource-efficiency assessment (paper §V.B / §VII: "a performance model
+// can guide us in assessing how efficient is our application in terms of
+// resource usage").
+//
+// Given the event counters an application run left behind (per-thread line
+// ops per level of the hierarchy), its wall time, and the capability model,
+// this module computes where the traffic went, the achieved memory
+// bandwidth, and how close that is to what the model says was achievable —
+// the quantitative version of Fig. 10's ">10% overhead" verdict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sim/memsys.hpp"
+
+namespace capmem::model {
+
+struct EfficiencyReport {
+  // Traffic breakdown (cache lines).
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t remote_hits = 0;
+  std::uint64_t dram_lines = 0;
+  std::uint64_t mcdram_lines = 0;
+  std::uint64_t total_ops = 0;
+
+  double cache_hit_fraction = 0;   ///< (L1+L2) / total
+  double memory_gbps = 0;          ///< achieved memory bandwidth
+  double achievable_gbps = 0;      ///< model's B(threads) for the kind used
+  double memory_efficiency = 0;    ///< achieved / achievable
+  /// Lower bound on runtime from memory traffic alone at achievable BW.
+  double memory_bound_ns = 0;
+  /// Fraction of the wall time not explained by the memory bound — the
+  /// paper's overhead criterion (">10% means no longer memory-bound").
+  double overhead_fraction = 0;
+
+  std::string verdict;  ///< human-readable summary
+
+  bool memory_bound(double threshold = 0.10) const {
+    return overhead_fraction <= threshold;
+  }
+};
+
+/// Analyzes a finished run: `counters` for every participating thread,
+/// `elapsed_ns` the makespan, `threads` the worker count, `kind` the
+/// memory the data lived in.
+EfficiencyReport assess(const CapabilityModel& m,
+                        const std::vector<sim::ThreadCounters>& counters,
+                        double elapsed_ns, int threads, sim::MemKind kind);
+
+}  // namespace capmem::model

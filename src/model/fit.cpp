@@ -1,0 +1,60 @@
+#include "model/fit.hpp"
+
+namespace capmem::model {
+
+CapabilityModel fit(const bench::SuiteResults& suite) {
+  CapabilityModel m;
+  m.machine = suite.cfg.name;
+  m.cluster = suite.cfg.cluster;
+  m.memory = suite.cfg.memory;
+
+  // Cache half. R_L is the poll-hit cost (the line stays resident between
+  // polls); R_R uses the modified-state remote median because collective
+  // cells are written by their producer right before being read.
+  m.r_local = suite.lat_l1.median;
+  m.r_l2 = suite.lat_tile_e.median;
+  m.r_tile = suite.lat_tile_m.median;
+  m.r_remote = suite.lat_remote_m.median;
+  m.r_mem_dram = suite.mem_lat_dram.median;
+  m.r_mem_mcdram = suite.mem_lat_mcdram ? suite.mem_lat_mcdram->median
+                                        : suite.mem_lat_dram.median;
+  m.contention = suite.contention.fit;
+  m.c2c_copy_gbps = suite.bw_copy_remote.median;
+  m.multiline = suite.multiline_ns;
+
+  // Memory half.
+  m.lat_dram = suite.mem_lat_dram.median;
+  m.lat_mcdram = m.r_mem_mcdram;
+  // Flat and hybrid modes expose an explicit MCDRAM range regardless of
+  // whether the stream kernels ran.
+  m.has_mcdram = suite.cfg.memory != sim::MemoryMode::kCache;
+  if (suite.has_streams) {
+    // Copy is the merge-sort-shaped kernel (one read + one write stream):
+    // its single-thread and saturated medians anchor the bandwidth law.
+    m.bw_dram.per_thread_gbps = suite.copy_1thread[0].gbps.median;
+    m.bw_dram.aggregate_gbps = suite.stream[0][0].nt_random.gbps.median;
+    if (suite.has_mcdram_streams) {
+      m.bw_mcdram.per_thread_gbps = suite.copy_1thread[1].gbps.median;
+      m.bw_mcdram.aggregate_gbps = suite.stream[0][1].nt_random.gbps.median;
+    } else {
+      m.bw_mcdram = m.bw_dram;
+    }
+  } else {
+    // Latency-only fallback: one line per latency, single outstanding miss.
+    const double line = static_cast<double>(kLineBytes);
+    m.bw_dram.per_thread_gbps = line / m.lat_dram;
+    m.bw_dram.aggregate_gbps = 0;  // unknown: uncapped
+    m.bw_mcdram.per_thread_gbps = line / m.lat_mcdram;
+    m.bw_mcdram.aggregate_gbps = 0;
+  }
+  return m;
+}
+
+CapabilityModel fit_cache_model(const sim::MachineConfig& cfg,
+                                const bench::SuiteOptions& opts) {
+  bench::SuiteOptions o = opts;
+  o.streams = false;
+  return fit(bench::run_suite(cfg, o));
+}
+
+}  // namespace capmem::model

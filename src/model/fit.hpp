@@ -1,0 +1,21 @@
+// Measurement -> capability model (the "parametrize" step of the paper's
+// methodology). Only medians and regression fits from the benchmark layer
+// enter the model; the simulator's ground-truth constants are never read.
+#pragma once
+
+#include "bench/suite.hpp"
+#include "model/params.hpp"
+
+namespace capmem::model {
+
+/// Builds the capability model from a completed suite run. If the suite
+/// skipped the stream kernels, the bandwidth laws fall back to the memory
+/// latencies' implied single-line throughput (latency-only model).
+CapabilityModel fit(const bench::SuiteResults& suite);
+
+/// Convenience: run the (cache-half) suite and fit, for callers that only
+/// need the collective-tuning parameters.
+CapabilityModel fit_cache_model(const sim::MachineConfig& cfg,
+                                const bench::SuiteOptions& opts = {});
+
+}  // namespace capmem::model

@@ -1,0 +1,91 @@
+// The capability model — the paper's central artifact.
+//
+// A CapabilityModel is the parametrized analytic description of one machine
+// configuration, populated purely from measurements (bench::SuiteResults).
+// Its two halves:
+//   * cache capabilities (§IV): R_L / R_R / R_I line-transfer costs, the
+//     contention law T_C(N) = alpha + beta*N, and the multi-line copy law —
+//     the inputs of the communication-algorithm tuning (Eqs. 1-2);
+//   * memory capabilities (§V): latency and achievable bandwidth per memory
+//     kind, per-thread and aggregate — the inputs of the sort model
+//     (Eqs. 3-5) and of mode-selection reasoning.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/linreg.hpp"
+#include "sim/config.hpp"
+
+namespace capmem::model {
+
+/// Achievable-bandwidth law for one memory kind: per-thread ramp capped by
+/// the aggregate ("B(n) = min(n * per_thread, aggregate)").
+struct BandwidthLaw {
+  double per_thread_gbps = 0;  ///< single-thread streaming bandwidth
+  double aggregate_gbps = 0;   ///< chip-wide saturation
+
+  double at_threads(int n) const {
+    const double ramp = per_thread_gbps * n;
+    return aggregate_gbps > 0 ? (ramp < aggregate_gbps ? ramp
+                                                       : aggregate_gbps)
+                              : ramp;
+  }
+};
+
+struct CapabilityModel {
+  std::string machine;
+  sim::ClusterMode cluster = sim::ClusterMode::kQuadrant;
+  sim::MemoryMode memory = sim::MemoryMode::kFlat;
+
+  // --- cache capabilities (ns per cache line) ---
+  double r_local = 0;   ///< R_L: line already in the local cache (poll hit)
+  double r_l2 = 0;      ///< own-tile L2 read (clean line, sort model costL2)
+  double r_tile = 0;    ///< intra-tile transfer (other core's L2 line, M)
+  double r_remote = 0;  ///< R_R: remote-tile transfer (modified line)
+  double r_mem_dram = 0;    ///< R_I when the buffer lives in DRAM
+  double r_mem_mcdram = 0;  ///< R_I when it lives in MCDRAM (= dram in
+                            ///< cache mode)
+  /// Contention law T_C(N) = alpha + beta*N for N simultaneous readers.
+  LinearFit contention;
+  /// Single-thread remote copy bandwidth (GB/s) for payload estimation.
+  double c2c_copy_gbps = 0;
+  /// Multi-line remote copy: time(ns) = alpha + beta*lines (§IV.A.4 fit).
+  LinearFit multiline;
+
+  /// Cost of pulling an s-line message from a remote cache (falls back to
+  /// R_R for one line / when the multi-line law was not fitted).
+  double r_message(int lines) const {
+    if (lines <= 1 || multiline.beta <= 0) return r_remote;
+    const double t = multiline(lines);
+    return t > r_remote ? t : r_remote;
+  }
+
+  // --- memory capabilities ---
+  double lat_dram = 0;
+  double lat_mcdram = 0;  ///< == lat_dram proxy in cache mode
+  BandwidthLaw bw_dram;
+  BandwidthLaw bw_mcdram;  ///< unset in cache mode
+  bool has_mcdram = true;
+
+  /// R_I for a buffer of `kind` (paper Eq. 1/2 parameter).
+  double r_mem(sim::MemKind kind) const {
+    return kind == sim::MemKind::kDDR ? r_mem_dram : r_mem_mcdram;
+  }
+  double mem_latency(sim::MemKind kind) const {
+    return kind == sim::MemKind::kDDR ? lat_dram : lat_mcdram;
+  }
+  const BandwidthLaw& bw(sim::MemKind kind) const {
+    return kind == sim::MemKind::kDDR ? bw_dram : bw_mcdram;
+  }
+  /// T_C(n), clamped below by the uncontended remote transfer.
+  double t_contention(int n) const;
+
+  /// Key-value text round trip (so expensive fits can be cached on disk).
+  void save(std::ostream& os) const;
+  static CapabilityModel load(std::istream& is);
+};
+
+bool operator==(const CapabilityModel& a, const CapabilityModel& b);
+
+}  // namespace capmem::model

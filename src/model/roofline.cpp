@@ -1,0 +1,40 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace capmem::model {
+
+double Roofline::attainable(double flops_per_byte) const {
+  CAPMEM_CHECK(flops_per_byte >= 0);
+  return std::min(peak_gflops, mem_gbps * flops_per_byte);
+}
+
+double Roofline::ridge_point() const {
+  return mem_gbps > 0 ? peak_gflops / mem_gbps : 0.0;
+}
+
+bool Roofline::memory_bound(double flops_per_byte) const {
+  return flops_per_byte < ridge_point();
+}
+
+std::vector<Roofline> build_rooflines(const CapabilityModel& m,
+                                      double peak_gflops) {
+  std::vector<Roofline> out;
+  Roofline dram;
+  dram.peak_gflops = peak_gflops;
+  dram.mem_gbps = m.bw_dram.aggregate_gbps;
+  dram.memory_name = "DRAM";
+  out.push_back(dram);
+  if (m.has_mcdram) {
+    Roofline mc;
+    mc.peak_gflops = peak_gflops;
+    mc.mem_gbps = m.bw_mcdram.aggregate_gbps;
+    mc.memory_name = "MCDRAM";
+    out.push_back(mc);
+  }
+  return out;
+}
+
+}  // namespace capmem::model

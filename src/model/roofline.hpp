@@ -1,0 +1,33 @@
+// Roofline comparison (related-work extension, paper §VI: Doerfler et al.
+// apply the roofline to KNL; the paper argues it cannot *optimize*
+// algorithms — this module exists so the two model styles can be compared
+// side by side).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+
+namespace capmem::model {
+
+struct Roofline {
+  double peak_gflops = 0;       ///< compute roof
+  double mem_gbps = 0;          ///< memory roof (measured, not peak!)
+  std::string memory_name;
+
+  /// Attainable GFLOP/s at arithmetic intensity `flops_per_byte`.
+  double attainable(double flops_per_byte) const;
+  /// Intensity at which the kernel turns compute-bound.
+  double ridge_point() const;
+  /// True when a kernel of this intensity is memory-bound.
+  bool memory_bound(double flops_per_byte) const;
+};
+
+/// Rooflines (one per memory kind) built from the capability model's
+/// measured achievable bandwidths and the documented peak FLOP rate
+/// (KNL 7210: 64 cores x 2 VPUs x 16 SP lanes x 2 (FMA) x 1.3 GHz).
+std::vector<Roofline> build_rooflines(const CapabilityModel& m,
+                                      double peak_gflops = 5324.8);
+
+}  // namespace capmem::model

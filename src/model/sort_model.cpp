@@ -1,0 +1,116 @@
+#include "model/sort_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace capmem::model {
+
+namespace {
+int ceil_log2(std::uint64_t v) {
+  int l = 0;
+  while ((1ull << l) < v) ++l;
+  return l;
+}
+}  // namespace
+
+double SortModel::level_line_cost(std::uint64_t working_set_bytes,
+                                  int active_threads, sim::MemKind kind,
+                                  bool use_bandwidth) const {
+  // Working set of one merge level per thread: the two input lists plus
+  // the output (ping-pong) — 2x the output size.
+  const std::uint64_t ws = 2 * working_set_bytes;
+  if (ws <= arch_.l1_bytes) return caps_.r_local;
+  if (ws <= arch_.l2_bytes /
+                static_cast<std::uint64_t>(arch_.threads_per_tile)) {
+    return caps_.r_l2;
+  }
+  if (!use_bandwidth) return caps_.mem_latency(kind);
+  // Best case: ordered input lists are streamed; the active threads share
+  // the achievable copy bandwidth B(n). A merge moves its payload once in
+  // and once out, and B already counts payload once, so the per-line-op
+  // cost is (64/2) / (B(n)/n).
+  const BandwidthLaw& law = caps_.bw(kind);
+  double per_thread = law.per_thread_gbps;
+  if (law.aggregate_gbps > 0) {
+    per_thread = law.at_threads(active_threads) / active_threads;
+  }
+  CAPMEM_CHECK(per_thread > 0);
+  return (static_cast<double>(kLineBytes) / 2.0) / per_thread;
+}
+
+double SortModel::predict(std::uint64_t bytes, int nthreads,
+                          sim::MemKind kind, bool use_bandwidth,
+                          bool include_sync) const {
+  CAPMEM_CHECK(bytes >= kLineBytes && nthreads >= 1);
+  const std::uint64_t total_lines = lines_for(bytes);
+  const std::uint64_t per_thread_lines =
+      std::max<std::uint64_t>(1, (total_lines + nthreads - 1) /
+                                     static_cast<std::uint64_t>(nthreads));
+  double t = 0;
+
+  // Phase 1 — every thread sorts its chunk: log2(chunk) merge levels, all
+  // threads active; level l produces runs of 2^l lines. The first level
+  // reads the input from memory (the 2n*costmem term of Eq. 3).
+  const int local_levels = std::max(1, ceil_log2(per_thread_lines));
+  for (int l = 1; l <= local_levels; ++l) {
+    const std::uint64_t run_bytes = (1ull << l) * kLineBytes;
+    double per_line =
+        l == 1 ? level_line_cost(bytes, nthreads, kind, use_bandwidth)
+               : level_line_cost(std::min<std::uint64_t>(run_bytes, bytes),
+                                 nthreads, kind, use_bandwidth);
+    t += 2.0 * static_cast<double>(per_thread_lines) * per_line +
+         arch_.bitonic_ns_per_line * static_cast<double>(per_thread_lines);
+  }
+
+  // Phase 2 — cross-thread merge tree: log2(p) stages; at stage j only
+  // p/2^j threads work, each producing runs of per_thread*2^j lines, and
+  // each stage hands off through a flag (R_L + R_R).
+  const int stages = ceil_log2(static_cast<std::uint64_t>(nthreads));
+  for (int j = 1; j <= stages; ++j) {
+    const int active = std::max(1, nthreads >> j);
+    const std::uint64_t out_lines = per_thread_lines << j;
+    const std::uint64_t out_bytes = out_lines * kLineBytes;
+    const double per_line =
+        level_line_cost(std::min<std::uint64_t>(out_bytes, bytes), active,
+                        kind, use_bandwidth);
+    t += 2.0 * static_cast<double>(out_lines) * per_line +
+         arch_.bitonic_ns_per_line * static_cast<double>(out_lines) +
+         (include_sync ? caps_.r_local + caps_.r_remote : 0.0);
+  }
+  return t;
+}
+
+void SortModel::fit_overhead(std::span<const int> threads,
+                             std::span<const double> measured_1kb_ns,
+                             sim::MemKind kind) {
+  CAPMEM_CHECK(threads.size() == measured_1kb_ns.size());
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const double model = predict(KiB(1), threads[i], kind,
+                                 /*use_bandwidth=*/false,
+                                 /*include_sync=*/false);
+    xs.push_back(threads[i]);
+    ys.push_back(std::max(0.0, measured_1kb_ns[i] - model));
+  }
+  overhead_ = fit_linear(xs, ys);
+}
+
+double SortModel::predict_full(std::uint64_t bytes, int nthreads,
+                               sim::MemKind kind, bool use_bandwidth) const {
+  return predict(bytes, nthreads, kind, use_bandwidth,
+                 /*include_sync=*/false) +
+         std::max(0.0, overhead_(nthreads));
+}
+
+double SortModel::overhead_fraction(std::uint64_t bytes, int nthreads,
+                                    sim::MemKind kind) const {
+  const double mem = predict(bytes, nthreads, kind, /*use_bandwidth=*/true,
+                             /*include_sync=*/false);
+  if (mem <= 0) return 0;
+  return std::max(0.0, overhead_(nthreads)) / mem;
+}
+
+}  // namespace capmem::model

@@ -1,0 +1,79 @@
+// Memory-access model of the parallel bitonic merge sort (paper §V.B,
+// Eqs. 3-5, Fig. 10).
+//
+// The sort merges runs level by level; every merge of n output lines costs
+// n reads + n writes. The per-line cost depends on where the working set of
+// the level lives (L1, L2, memory — Eqs. 3, 4, 5) and, for memory, on
+// whether the latency (worst case: interleaved random reads) or the inverse
+// achievable bandwidth (best case: ordered streams, shared by the active
+// threads) is charged. On top of the merge traffic the model adds the
+// bitonic-network vector compute and the inter-stage flag synchronization
+// (R_L + R_R). A separately fitted linear overhead model (thread
+// management, recursion, false sharing; fitted at 1 KB) completes the
+// "full model".
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/linreg.hpp"
+#include "model/params.hpp"
+
+namespace capmem::model {
+
+/// Architecture facts the model takes from the data sheet (the paper does
+/// the same — cache sizes and vector-unit throughput are documented, not
+/// measured).
+struct SortArch {
+  std::uint64_t l1_bytes = 32 * 1024;
+  std::uint64_t l2_bytes = 1024 * 1024;
+  int threads_per_tile = 2;
+  /// Vector compute per line pushed through the width-16 bitonic network:
+  /// ~12 AVX-512 min/max/shuffle ops at 1.3 GHz across 2 VPUs.
+  double bitonic_ns_per_line = 4.6;
+};
+
+class SortModel {
+ public:
+  SortModel(CapabilityModel caps, SortArch arch)
+      : caps_(std::move(caps)), arch_(arch) {}
+
+  /// Predicted sort time (ns) for `bytes` of int32 keys with `nthreads`,
+  /// buffers in `kind`. `use_bandwidth` selects the best-case memory cost
+  /// (1/achievable-bandwidth) vs the worst case (latency per line).
+  /// `include_sync` adds the per-stage flag handoffs; the overhead fit
+  /// excludes them so synchronization lands in the overhead term, matching
+  /// the paper's decomposition (overhead = thread management + sync +
+  /// false sharing).
+  double predict(std::uint64_t bytes, int nthreads, sim::MemKind kind,
+                 bool use_bandwidth, bool include_sync = true) const;
+
+  /// Full model = memory model + fitted overhead (call fit_overhead first).
+  double predict_full(std::uint64_t bytes, int nthreads, sim::MemKind kind,
+                      bool use_bandwidth) const;
+
+  /// Fits the linear overhead model from measured 1 KB sort times across
+  /// thread counts (paper §V.B.2): overhead(p) = measured(p) - model(p).
+  void fit_overhead(std::span<const int> threads,
+                    std::span<const double> measured_1kb_ns,
+                    sim::MemKind kind);
+
+  const LinearFit& overhead() const { return overhead_; }
+  const CapabilityModel& caps() const { return caps_; }
+  const SortArch& arch() const { return arch_; }
+
+  /// Fraction overhead/memory-model at this point; the paper flags the
+  /// implementation as no longer memory-bound when it exceeds 10%.
+  double overhead_fraction(std::uint64_t bytes, int nthreads,
+                           sim::MemKind kind) const;
+
+ private:
+  double level_line_cost(std::uint64_t working_set_bytes, int active_threads,
+                         sim::MemKind kind, bool use_bandwidth) const;
+
+  CapabilityModel caps_;
+  SortArch arch_;
+  LinearFit overhead_;
+};
+
+}  // namespace capmem::model

@@ -1,0 +1,164 @@
+#include "model/tree_opt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace capmem::model {
+
+int tree_depth(const TreeNode& n) {
+  int d = 0;
+  for (const TreeNode& c : n.children) d = std::max(d, 1 + tree_depth(c));
+  return d;
+}
+
+int tree_nodes(const TreeNode& n) {
+  int total = 1;
+  for (const TreeNode& c : n.children) total += tree_nodes(c);
+  return total;
+}
+
+double level_cost(const CapabilityModel& m, TreeKind kind, int fanout,
+                  sim::MemKind buffer, int payload_lines) {
+  CAPMEM_CHECK(fanout >= 1 && payload_lines >= 1);
+  const double r_i = m.r_mem(buffer);
+  const double msg = m.r_message(payload_lines);
+  if (kind == TreeKind::kBroadcast) {
+    if (payload_lines <= 1) {
+      // Parent copies payload + sets flag (R_I + R_L); children poll under
+      // contention (T_C(k)), copy, and ack sequentially (R_I + k*R_R) —
+      // exactly Eq. 1.
+      return r_i + m.r_local + m.t_contention(fanout) + r_i +
+             fanout * msg;
+    }
+    // Multi-line payloads: the k children's copies overlap (forward-state
+    // migration distributes the supply across the readers' tiles), so a
+    // level costs one message transfer plus a per-extra-reader
+    // serialization at the contention slope, not k full copies.
+    return r_i + m.r_local + m.t_contention(fanout) + r_i + msg +
+           (fanout - 1) * m.contention.beta;
+  }
+  // Reduce: children publish partial results into per-child cells (no
+  // contention) and set flags; the parent polls and pulls each child's
+  // cell, combining locally (k * (R_msg + R_L)), with the extra buffering
+  // paid once (R_I).
+  return r_i + m.r_local + r_i + fanout * (msg + m.r_local);
+}
+
+double level_cost_worst(const CapabilityModel& m, TreeKind kind, int fanout,
+                        sim::MemKind buffer, int payload_lines) {
+  // Min-max pessimism: the poll/copy of each child additionally contends
+  // with the other fanout-1 requesters at the parent's lines, so every
+  // remote transfer pays the contention slope.
+  const double penalty = fanout * m.contention.beta * fanout;
+  return level_cost(m, kind, fanout, buffer, payload_lines) + penalty;
+}
+
+namespace {
+
+struct DpEntry {
+  double cost = 0;
+  int best_fanout = 0;
+};
+
+// Memoized cost table: dp[n] = optimal subtree cost for n nodes.
+std::vector<DpEntry> solve(const CapabilityModel& m, int tiles,
+                           TreeKind kind, sim::MemKind buffer,
+                           int payload_lines) {
+  std::vector<DpEntry> dp(static_cast<std::size_t>(tiles) + 1);
+  dp[1] = {0.0, 0};
+  for (int n = 2; n <= tiles; ++n) {
+    double best = -1;
+    int best_k = 1;
+    for (int k = 1; k <= n - 1; ++k) {
+      // Balanced split: the largest subtree has ceil((n-1)/k) nodes, and
+      // the subtree cost is nondecreasing in size, so this is optimal.
+      const int largest = (n - 1 + k - 1) / k;
+      const double c = level_cost(m, kind, k, buffer, payload_lines) +
+                       dp[static_cast<std::size_t>(largest)].cost;
+      if (best < 0 || c < best) {
+        best = c;
+        best_k = k;
+      }
+    }
+    dp[static_cast<std::size_t>(n)] = {best, best_k};
+  }
+  return dp;
+}
+
+TreeNode build(const std::vector<DpEntry>& dp, int n) {
+  TreeNode node;
+  node.size = n;
+  if (n == 1) return node;
+  const int k = dp[static_cast<std::size_t>(n)].best_fanout;
+  // Distribute n-1 nodes over k children as evenly as possible.
+  int remaining = n - 1;
+  for (int i = 0; i < k; ++i) {
+    const int share = (remaining + (k - i) - 1) / (k - i);
+    node.children.push_back(build(dp, share));
+    remaining -= share;
+  }
+  CAPMEM_CHECK(remaining == 0);
+  return node;
+}
+
+}  // namespace
+
+TunedTree optimize_tree(const CapabilityModel& m, int tiles, TreeKind kind,
+                        sim::MemKind buffer, int payload_lines) {
+  CAPMEM_CHECK(tiles >= 1);
+  TunedTree out;
+  out.kind = kind;
+  if (tiles == 1) {
+    out.root = TreeNode{};
+    out.predicted_ns = 0;
+    return out;
+  }
+  const auto dp = solve(m, tiles, kind, buffer, payload_lines);
+  out.root = build(dp, tiles);
+  out.predicted_ns = dp[static_cast<std::size_t>(tiles)].cost;
+  CAPMEM_CHECK(tree_nodes(out.root) == tiles);
+  return out;
+}
+
+double tree_cost(const CapabilityModel& m, const TreeNode& root,
+                 TreeKind kind, sim::MemKind buffer, bool worst,
+                 int payload_lines) {
+  if (root.children.empty()) return 0.0;
+  const double lev =
+      worst ? level_cost_worst(m, kind, root.fanout(), buffer, payload_lines)
+            : level_cost(m, kind, root.fanout(), buffer, payload_lines);
+  double deepest = 0;
+  for (const TreeNode& c : root.children) {
+    deepest = std::max(
+        deepest, tree_cost(m, c, kind, buffer, worst, payload_lines));
+  }
+  return lev + deepest;
+}
+
+namespace {
+void render(const TreeNode& n, const std::string& prefix, bool last,
+            std::ostringstream& os, int& next_id) {
+  const int id = next_id++;
+  os << prefix << (prefix.empty() ? "" : (last ? "`-- " : "|-- ")) << id;
+  if (n.fanout() > 0) os << " (k=" << n.fanout() << ")";
+  os << '\n';
+  const std::string child_prefix =
+      prefix + (prefix.empty() ? "" : (last ? "    " : "|   "));
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    render(n.children[i], child_prefix.empty() ? " " : child_prefix,
+           i + 1 == n.children.size(), os, next_id);
+  }
+}
+}  // namespace
+
+std::string render_tree(const TreeNode& root) {
+  std::ostringstream os;
+  int next_id = 0;
+  render(root, "", true, os, next_id);
+  return os.str();
+}
+
+}  // namespace capmem::model

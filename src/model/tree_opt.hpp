@@ -1,0 +1,65 @@
+// Model-tuned broadcast/reduce trees (paper §IV.B.1, Eq. 1, Fig. 1).
+//
+// The inter-tile collective is a generic tree in which node i has an
+// arbitrary number of children k_i. The cost of a level with fanout k is
+//
+//   T_lev(k) = R_I + R_L + T_C(k) + R_I + k * R_R            (broadcast)
+//
+// (parent publishes payload + flag; k children poll the flag under
+// contention and copy the payload; children ack sequentially), and the tree
+// cost is T_lev(k_0) + max over subtrees — minimized exactly by memoized
+// search over fanouts with balanced subtree splits (optimal because the
+// subtree cost is nondecreasing in size).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+
+namespace capmem::model {
+
+/// A tuned tree over `size` nodes (node 0 is the root of the subtree).
+struct TreeNode {
+  int size = 1;  ///< nodes in this subtree, including the root
+  std::vector<TreeNode> children;
+  int fanout() const { return static_cast<int>(children.size()); }
+};
+
+/// Depth (edges) of the deepest leaf.
+int tree_depth(const TreeNode& n);
+/// Total node count (must equal `size`; used by tests).
+int tree_nodes(const TreeNode& n);
+
+enum class TreeKind { kBroadcast, kReduce };
+
+struct TunedTree {
+  TreeNode root;
+  double predicted_ns = 0;
+  TreeKind kind = TreeKind::kBroadcast;
+};
+
+/// Cost of one level with fanout k under `m`. `buffer` is where the
+/// payload cells live (R_I term); `payload_lines` generalizes Eq. 1 to
+/// multi-line messages via the fitted alpha + beta*N transfer law.
+double level_cost(const CapabilityModel& m, TreeKind kind, int fanout,
+                  sim::MemKind buffer, int payload_lines = 1);
+
+/// Pessimistic variant for the min-max band: every child's payload read
+/// additionally contends at the parent's line.
+double level_cost_worst(const CapabilityModel& m, TreeKind kind, int fanout,
+                        sim::MemKind buffer, int payload_lines = 1);
+
+/// Exact minimization of Eq. 1 over trees with `tiles` nodes.
+TunedTree optimize_tree(const CapabilityModel& m, int tiles, TreeKind kind,
+                        sim::MemKind buffer, int payload_lines = 1);
+
+/// Cost of an arbitrary tree under the model (worst=false -> Eq. 1 cost).
+double tree_cost(const CapabilityModel& m, const TreeNode& root,
+                 TreeKind kind, sim::MemKind buffer, bool worst = false,
+                 int payload_lines = 1);
+
+/// Multi-line ASCII rendering of the tree (Fig. 1-style printout).
+std::string render_tree(const TreeNode& root);
+
+}  // namespace capmem::model

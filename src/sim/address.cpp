@@ -1,0 +1,64 @@
+#include "sim/address.hpp"
+
+namespace capmem::sim {
+
+Addr AddressSpace::alloc(std::string name, std::uint64_t bytes,
+                         Placement place, bool with_data) {
+  CAPMEM_CHECK_MSG(bytes > 0, "zero-sized allocation '" << name << "'");
+  const std::uint64_t rounded = lines_for(bytes) * kLineBytes;
+  Slot slot;
+  slot.info.base = next_;
+  slot.info.bytes = rounded;
+  slot.info.place = place;
+  slot.info.name = std::move(name);
+  slot.info.has_data = with_data;
+  if (with_data) slot.storage.assign(rounded, std::byte{0});
+  const Addr base = next_;
+  next_ += rounded + kLineBytes;  // guard line between allocations
+  allocs_.emplace(base, std::move(slot));
+  return base;
+}
+
+void AddressSpace::free(Addr base) {
+  const auto it = allocs_.find(base);
+  CAPMEM_CHECK_MSG(it != allocs_.end(), "free of unknown base " << base);
+  allocs_.erase(it);
+}
+
+bool AddressSpace::valid(Addr a) const {
+  auto it = allocs_.upper_bound(a);
+  if (it == allocs_.begin()) return false;
+  --it;
+  return it->second.info.contains(a);
+}
+
+const Allocation& AddressSpace::find(Addr a) const {
+  auto it = allocs_.upper_bound(a);
+  CAPMEM_CHECK_MSG(it != allocs_.begin(), "wild address " << a);
+  --it;
+  CAPMEM_CHECK_MSG(it->second.info.contains(a),
+                   "address " << a << " past end of allocation '"
+                              << it->second.info.name << "'");
+  return it->second.info;
+}
+
+std::byte* AddressSpace::data(Addr a, std::uint64_t bytes) {
+  auto it = allocs_.upper_bound(a);
+  CAPMEM_CHECK_MSG(it != allocs_.begin(), "wild address " << a);
+  --it;
+  Slot& slot = it->second;
+  CAPMEM_CHECK_MSG(slot.info.contains(a) && a + bytes <= slot.info.end(),
+                   "access [" << a << "," << a + bytes
+                              << ") crosses allocation '" << slot.info.name
+                              << "'");
+  CAPMEM_CHECK_MSG(slot.info.has_data,
+                   "data access to dataless allocation '" << slot.info.name
+                                                          << "'");
+  return slot.storage.data() + (a - slot.info.base);
+}
+
+const std::byte* AddressSpace::data(Addr a, std::uint64_t bytes) const {
+  return const_cast<AddressSpace*>(this)->data(a, bytes);
+}
+
+}  // namespace capmem::sim

@@ -1,0 +1,57 @@
+// Set-associative tag array with LRU replacement, used for the per-core L1s
+// and the per-tile L2s. Tracks presence only — data lives in the address
+// space; coherence state lives in the directory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "sim/address.hpp"
+
+namespace capmem::sim {
+
+class SetAssocCache {
+ public:
+  /// `capacity_bytes` must be a multiple of ways*64.
+  SetAssocCache(std::uint64_t capacity_bytes, int ways);
+
+  /// True when `line` is resident; touching updates LRU order.
+  bool lookup(Line line);
+  /// Presence test without LRU update.
+  bool contains(Line line) const;
+
+  /// Inserts `line` (must not be resident); returns the evicted line, if
+  /// the target set was full.
+  std::optional<Line> insert(Line line);
+
+  /// Removes `line` if resident; returns whether it was.
+  bool erase(Line line);
+
+  /// Drops everything (used by flush-style benchmark resets).
+  void clear();
+
+  int sets() const { return static_cast<int>(sets_.size()); }
+  int ways() const { return ways_; }
+  std::uint64_t resident_lines() const;
+
+ private:
+  struct Entry {
+    Line line = 0;
+    std::uint64_t stamp = 0;  // higher = more recently used
+  };
+  std::vector<Entry>& set_of(Line line) {
+    return sets_[line % sets_.size()];
+  }
+  const std::vector<Entry>& set_of(Line line) const {
+    return sets_[line % sets_.size()];
+  }
+
+  int ways_;
+  std::uint64_t clock_ = 0;
+  std::vector<std::vector<Entry>> sets_;
+};
+
+}  // namespace capmem::sim

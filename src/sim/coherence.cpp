@@ -1,0 +1,59 @@
+#include "sim/coherence.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace capmem::sim {
+
+const char* to_string(TileState s) {
+  switch (s) {
+    case TileState::kI: return "I";
+    case TileState::kS: return "S";
+    case TileState::kE: return "E";
+    case TileState::kM: return "M";
+    case TileState::kF: return "F";
+  }
+  return "?";
+}
+
+void Directory::drop_if_invalid(Line line) {
+  const LineEntry* e = map_.find(line);
+  if (e != nullptr && !e->anywhere()) map_.erase(line);
+}
+
+TileState Directory::state_in_tile(const LineEntry& e, int tile) {
+  if (!e.present_in_tile(tile)) return TileState::kI;
+  if (e.owner == tile) return e.dirty ? TileState::kM : TileState::kE;
+  if (e.forward == tile) return TileState::kF;
+  return TileState::kS;
+}
+
+TileState Directory::state_in_tile(Line line, int tile) const {
+  const LineEntry* e = find(line);
+  if (e == nullptr) return TileState::kI;
+  return state_in_tile(*e, tile);
+}
+
+void Directory::check_entry(const LineEntry& e) {
+  if (e.owner >= 0) {
+    // M/E: exactly one L2 copy, held by the owner; no forwarder.
+    CAPMEM_CHECK_MSG(std::popcount(e.l2_mask) == 1,
+                     "owned line has " << std::popcount(e.l2_mask)
+                                       << " L2 copies");
+    CAPMEM_CHECK(e.present_in_tile(e.owner));
+    CAPMEM_CHECK(e.forward == -1);
+  } else {
+    // S/F or I: clean everywhere; forwarder, if any, must be a sharer.
+    CAPMEM_CHECK(!e.dirty);
+    if (e.forward >= 0) CAPMEM_CHECK(e.present_in_tile(e.forward));
+    if (e.l2_mask == 0) CAPMEM_CHECK(e.forward == -1);
+  }
+}
+
+void Directory::check_invariants(Line line) const {
+  const LineEntry* e = find(line);
+  if (e != nullptr) check_entry(*e);
+}
+
+}  // namespace capmem::sim

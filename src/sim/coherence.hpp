@@ -1,0 +1,84 @@
+// MESIF directory state (paper §II.A: the CHAs form a distributed tag
+// directory keeping the per-tile L2s coherent with a MESIF protocol).
+//
+// State is tracked at tile granularity, matching the paper's benchmarks: the
+// unit of coherence is an L2 line in some tile, plus L1 presence bits per
+// core. The classic five states map onto this record as:
+//   M/E — `owner` tile set, `dirty` distinguishes M from E
+//   S   — no owner; one or more tiles in `l2_mask`
+//   F   — the designated forwarder among the sharers (`forward`)
+//   I   — no record / empty masks
+// Transitions are performed by the memory system; this module owns storage,
+// queries and invariant checking.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "sim/address.hpp"
+#include "sim/line_table.hpp"
+
+namespace capmem::sim {
+
+/// Observable state of a line within one tile's L2 (the states the paper's
+/// cache-to-cache benchmarks prepare and measure).
+enum class TileState { kI, kS, kE, kM, kF };
+
+const char* to_string(TileState s);
+
+struct LineEntry {
+  std::uint64_t l2_mask = 0;  ///< tiles with the line in L2
+  std::uint64_t l1_mask = 0;  ///< cores with the line in L1
+  int owner = -1;             ///< tile in M/E, -1 otherwise
+  bool dirty = false;         ///< owner copy modified (M) vs clean (E)
+  int forward = -1;           ///< forwarder tile when shared, -1 none
+
+  /// CHA serialization point: requests to this line queue here, producing
+  /// the paper's linear contention law.
+  Nanos service_available = 0;
+  /// Time at which the latest store to the line becomes visible (used to
+  /// wake spin-waiters with the correct timestamp).
+  Nanos last_write_visible = 0;
+  /// Bumped on every store; spin-waiting is "wait until version changes".
+  std::uint64_t version = 0;
+
+  bool present_in_tile(int tile) const {
+    return (l2_mask >> tile) & 1ull;
+  }
+  bool anywhere() const { return l2_mask != 0; }
+};
+
+class Directory {
+ public:
+  /// Entry for `line`, creating an Invalid one if absent. The reference is
+  /// stable until this line is dropped.
+  LineEntry& entry(Line line) { return map_.get_or_create(line); }
+  /// Entry if tracked, nullptr otherwise.
+  const LineEntry* find(Line line) const { return map_.find(line); }
+  LineEntry* find(Line line) { return map_.find(line); }
+  /// Drops an entry that went globally Invalid (keeps the map compact).
+  void drop_if_invalid(Line line);
+
+  /// State of `line` as seen by `tile`'s L2.
+  TileState state_in_tile(Line line, int tile) const;
+  /// Same given an already looked-up entry.
+  static TileState state_in_tile(const LineEntry& e, int tile);
+
+  /// Protocol invariants; cheap enough to run after every transition.
+  /// Throws CheckError on violation.
+  void check_invariants(Line line) const;
+  static void check_entry(const LineEntry& e);
+  /// Sweeps every tracked line (test helper).
+  void check_all() const {
+    map_.for_each([](Line, const LineEntry& e) { check_entry(e); });
+  }
+
+  std::size_t tracked_lines() const { return map_.size(); }
+
+  void clear() { map_.clear(); }
+
+ private:
+  LineTable<LineEntry> map_;
+};
+
+}  // namespace capmem::sim

@@ -1,0 +1,107 @@
+#include "sim/config.hpp"
+
+#include "common/check.hpp"
+
+namespace capmem::sim {
+
+const char* to_string(ClusterMode m) {
+  switch (m) {
+    case ClusterMode::kA2A: return "A2A";
+    case ClusterMode::kHemisphere: return "HEM";
+    case ClusterMode::kQuadrant: return "QUAD";
+    case ClusterMode::kSNC2: return "SNC2";
+    case ClusterMode::kSNC4: return "SNC4";
+  }
+  return "?";
+}
+
+const char* to_string(MemoryMode m) {
+  switch (m) {
+    case MemoryMode::kFlat: return "flat";
+    case MemoryMode::kCache: return "cache";
+    case MemoryMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+const char* to_string(MemKind k) {
+  return k == MemKind::kDDR ? "DRAM" : "MCDRAM";
+}
+
+ClusterMode cluster_mode_from_string(const std::string& s) {
+  for (ClusterMode m : all_cluster_modes())
+    if (s == to_string(m)) return m;
+  CAPMEM_CHECK_MSG(false, "unknown cluster mode '" << s << "'");
+}
+
+MemoryMode memory_mode_from_string(const std::string& s) {
+  if (s == "flat") return MemoryMode::kFlat;
+  if (s == "cache") return MemoryMode::kCache;
+  if (s == "hybrid") return MemoryMode::kHybrid;
+  CAPMEM_CHECK_MSG(false, "unknown memory mode '" << s << "'");
+}
+
+std::vector<ClusterMode> all_cluster_modes() {
+  return {ClusterMode::kSNC4, ClusterMode::kSNC2, ClusterMode::kQuadrant,
+          ClusterMode::kHemisphere, ClusterMode::kA2A};
+}
+
+int MachineConfig::cluster_domains() const {
+  switch (cluster) {
+    case ClusterMode::kSNC4: return 4;
+    case ClusterMode::kSNC2: return 2;
+    default: return 1;  // transparent modes expose one NUMA domain
+  }
+}
+
+void MachineConfig::scale_memory(std::uint64_t factor) {
+  CAPMEM_CHECK(factor > 0);
+  dram_bytes /= factor;
+  mcdram_bytes /= factor;
+  CAPMEM_CHECK(dram_bytes >= MiB(1) && mcdram_bytes >= MiB(1));
+}
+
+void MachineConfig::validate() const {
+  CAPMEM_CHECK(mesh_rows > 0 && mesh_cols > 0);
+  CAPMEM_CHECK(physical_tiles <= mesh_rows * mesh_cols);
+  CAPMEM_CHECK(active_tiles > 0 && active_tiles <= physical_tiles);
+  CAPMEM_CHECK(cores_per_tile > 0 && threads_per_core > 0);
+  CAPMEM_CHECK_MSG(cores() <= 64,
+                   "the coherence masks use 64-bit core bitmaps");
+  CAPMEM_CHECK(l1_bytes % (kLineBytes * static_cast<std::uint64_t>(l1_ways)) ==
+               0);
+  CAPMEM_CHECK(l2_bytes % (kLineBytes * static_cast<std::uint64_t>(l2_ways)) ==
+               0);
+  CAPMEM_CHECK(dram_controllers > 0 && dram_channels_per_controller > 0);
+  CAPMEM_CHECK(mcdram_controllers > 0);
+  CAPMEM_CHECK(hybrid_cache_fraction > 0.0 && hybrid_cache_fraction < 1.0);
+  // Domain counts must divide the active tile count so SNC domains are
+  // balanced.
+  CAPMEM_CHECK(active_tiles % 4 == 0);
+}
+
+MachineConfig knl7210(ClusterMode cluster, MemoryMode memory) {
+  MachineConfig cfg;
+  cfg.cluster = cluster;
+  cfg.memory = memory;
+  cfg.validate();
+  return cfg;
+}
+
+MachineConfig tiny_machine(ClusterMode cluster, MemoryMode memory) {
+  MachineConfig cfg;
+  cfg.name = "tiny";
+  cfg.cluster = cluster;
+  cfg.memory = memory;
+  cfg.mesh_rows = 3;
+  cfg.mesh_cols = 4;
+  cfg.physical_tiles = 10;
+  cfg.active_tiles = 8;  // 16 cores
+  cfg.dram_bytes = MiB(64);
+  cfg.mcdram_bytes = MiB(16);
+  cfg.seed = 7;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace capmem::sim

@@ -1,0 +1,143 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace capmem::sim {
+
+void Advance::await_suspend(Task::Handle h) const {
+  CAPMEM_DCHECK(dt >= 0);
+  h.promise().clock += dt;
+  h.promise().engine->requeue(h);
+}
+
+void AdvanceTo::await_suspend(Task::Handle h) const {
+  auto& p = h.promise();
+  p.clock = std::max(p.clock, t);
+  p.engine->requeue(h);
+}
+
+void SyncPoint::await_suspend(Task::Handle h) const {
+  h.promise().engine->sync_arrive(h);
+}
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+Engine::~Engine() {
+  for (Task::Handle h : tasks_) {
+    if (h) h.destroy();
+  }
+}
+
+int Engine::spawn(Task task, Nanos start) {
+  CAPMEM_CHECK_MSG(!running_, "spawn during run() is not supported");
+  Task::Handle h = task.release();
+  CAPMEM_CHECK(h);
+  const int tid = static_cast<int>(tasks_.size());
+  h.promise().engine = this;
+  h.promise().tid = tid;
+  h.promise().clock = start;
+  tasks_.push_back(h);
+  run_q_.push(QEntry{start, seq_++, h, {}});
+  ++live_;
+  return tid;
+}
+
+void Engine::requeue(Task::Handle h) {
+  run_q_.push(QEntry{h.promise().clock, seq_++, h, {}});
+}
+
+void Engine::schedule(Nanos t, std::function<void()> fn) {
+  run_q_.push(QEntry{t, seq_++, {}, std::move(fn)});
+}
+
+void Engine::park(std::uint64_t key, Task::Handle h,
+                  std::function<bool(Nanos)> try_wake) {
+  parked_[key].push_back(Waiter{h, std::move(try_wake)});
+}
+
+void Engine::notify(std::uint64_t key, Nanos visible) {
+  const auto it = parked_.find(key);
+  if (it == parked_.end()) return;
+  auto& waiters = it->second;
+  for (std::size_t i = 0; i < waiters.size();) {
+    if (waiters[i].try_wake(visible)) {
+      requeue(waiters[i].h);
+      waiters.erase(waiters.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (waiters.empty()) parked_.erase(it);
+}
+
+void Engine::sync_arrive(Task::Handle h) {
+  sync_q_.push_back(h);
+  if (static_cast<int>(sync_q_.size()) < live_) return;
+  // All live tasks arrived: align clocks to the maximum and release.
+  Nanos tmax = 0;
+  for (Task::Handle w : sync_q_) tmax = std::max(tmax, w.promise().clock);
+  for (Task::Handle w : sync_q_) {
+    w.promise().clock = tmax;
+    requeue(w);
+  }
+  sync_q_.clear();
+}
+
+void Engine::finish(Task::Handle h) {
+  --live_;
+  if (h.promise().error) {
+    running_ = false;
+    std::rethrow_exception(h.promise().error);
+  }
+  // Release a barrier that was waiting only on still-live tasks.
+  if (!sync_q_.empty() && static_cast<int>(sync_q_.size()) >= live_) {
+    Nanos tmax = 0;
+    for (Task::Handle w : sync_q_) tmax = std::max(tmax, w.promise().clock);
+    for (Task::Handle w : sync_q_) {
+      w.promise().clock = tmax;
+      requeue(w);
+    }
+    sync_q_.clear();
+  }
+}
+
+void Engine::run() {
+  CAPMEM_CHECK(!running_);
+  running_ = true;
+  while (!run_q_.empty()) {
+    const QEntry e = run_q_.top();
+    run_q_.pop();
+    CAPMEM_DCHECK(e.t + 1e-6 >= global_time_);
+    global_time_ = std::max(global_time_, e.t);
+    ++steps_;
+    if (e.h) {
+      e.h.resume();
+      if (e.h.promise().done) finish(e.h);
+    } else {
+      e.fn();
+    }
+  }
+  running_ = false;
+  if (live_ > 0) report_deadlock();
+}
+
+void Engine::report_deadlock() const {
+  std::ostringstream os;
+  os << "simulation deadlock at t=" << global_time_ << " ns: " << live_
+     << " task(s) blocked;";
+  std::size_t parked_count = 0;
+  for (const auto& [key, ws] : parked_) {
+    parked_count += ws.size();
+    os << " line " << key << " <- {";
+    for (const auto& w : ws) os << ' ' << w.h.promise().tid;
+    os << " }";
+  }
+  if (!sync_q_.empty()) {
+    os << " barrier holds " << sync_q_.size() << " arrival(s)";
+  }
+  if (parked_count == 0 && sync_q_.empty()) os << " (unknown wait state)";
+  throw CheckError(os.str());
+}
+
+}  // namespace capmem::sim

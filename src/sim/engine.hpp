@@ -1,0 +1,190 @@
+// Deterministic virtual-time scheduler for simulated hardware threads.
+//
+// Each simulated thread is a C++20 coroutine (`Task`). The engine resumes,
+// at every step, the runnable task with the smallest local clock, so all
+// global state mutations (coherence transitions, resource reservations)
+// happen in nondecreasing virtual time — which makes simple reservation
+// queues exact and the whole simulation bit-reproducible.
+//
+// Tasks suspend through awaiters that either advance their clock (memory
+// operations, compute) or park them on a wait key (spin-waiting on a flag
+// line) until a store wakes them. A task that never unparks is a deadlock
+// and run() reports it instead of hanging.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace capmem::sim {
+
+class Engine;
+
+/// A simulated-thread coroutine. Fire-and-forget: the engine takes ownership
+/// of the frame when the task is spawned.
+class Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    Engine* engine = nullptr;
+    int tid = -1;        ///< engine task id (== simulated thread id)
+    Nanos clock = 0;     ///< local virtual time
+    bool done = false;
+    std::exception_ptr error;
+
+    Task get_return_object() {
+      return Task{Handle::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Handle h) const noexcept {
+        h.promise().done = true;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Task(Task&& o) noexcept : h_(o.h_) { o.h_ = {}; }
+  Task& operator=(Task&&) = delete;
+  Task(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();  // only if never spawned
+  }
+
+  /// Transfers frame ownership to the engine (called by Engine::spawn).
+  Handle release() {
+    Handle h = h_;
+    h_ = {};
+    return h;
+  }
+
+ private:
+  explicit Task(Handle h) : h_(h) {}
+  Handle h_;
+};
+
+/// Suspends the current task and advances its clock by `dt`.
+struct Advance {
+  Nanos dt;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(Task::Handle h) const;
+  void await_resume() const noexcept {}
+};
+
+/// Suspends and sets the task clock to max(clock, t).
+struct AdvanceTo {
+  Nanos t;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(Task::Handle h) const;
+  void await_resume() const noexcept {}
+};
+
+/// Joins the engine-level synchronization barrier (a harness primitive: it
+/// aligns all live task clocks to their maximum at zero simulated cost,
+/// standing in for the TSC-window synchronization of the real benchmarks).
+struct SyncPoint {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(Task::Handle h) const;
+  void await_resume() const noexcept {}
+};
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a task; it becomes runnable at virtual time `start`.
+  /// Returns its task id (dense, starting at 0).
+  int spawn(Task task, Nanos start = 0);
+
+  /// Runs until every task finished. Throws on task exceptions and reports
+  /// deadlocks (tasks parked forever / barrier mismatch).
+  void run();
+
+  /// Virtual time of the most recently executed step.
+  Nanos now() const { return global_time_; }
+
+  /// Deterministic per-engine RNG (noise models draw from it).
+  Rng& rng() { return rng_; }
+
+  int live_tasks() const { return live_; }
+  int total_tasks() const { return static_cast<int>(tasks_.size()); }
+  std::uint64_t steps() const { return steps_; }
+
+  /// Handle of task `tid` (valid between spawn and engine destruction).
+  Task::Handle task_handle(int tid) const {
+    return tasks_.at(static_cast<std::size_t>(tid));
+  }
+
+  // --- awaiter/machine interface ---
+
+  /// Makes `h` runnable again at its current clock.
+  void requeue(Task::Handle h);
+
+  /// Schedules a bare callback at virtual time `t` (used by multi-line
+  /// operation awaiters to pump their next chunk while the owning task
+  /// stays suspended). Callbacks run interleaved with task steps in
+  /// virtual-time order.
+  void schedule(Nanos t, std::function<void()> fn);
+
+  /// Parks `h` on `key` (a cache-line index). `try_wake(visible)` runs when
+  /// a store to the key happens; it must either set the task clock and
+  /// return true (the engine requeues it and removes the waiter) or return
+  /// false to stay parked.
+  void park(std::uint64_t key, Task::Handle h,
+            std::function<bool(Nanos visible)> try_wake);
+
+  /// Notifies waiters of a store to `key` becoming visible at `visible`.
+  void notify(std::uint64_t key, Nanos visible);
+
+  /// Barrier arrival (SyncPoint awaiter).
+  void sync_arrive(Task::Handle h);
+
+ private:
+  struct QEntry {
+    Nanos t;
+    std::uint64_t seq;
+    Task::Handle h;                  // null for callback entries
+    std::function<void()> fn;        // set when h is null
+    bool operator>(const QEntry& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+  struct Waiter {
+    Task::Handle h;
+    std::function<bool(Nanos)> try_wake;
+  };
+
+  void finish(Task::Handle h);
+  [[noreturn]] void report_deadlock() const;
+
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> run_q_;
+  std::unordered_map<std::uint64_t, std::vector<Waiter>> parked_;
+  std::vector<Task::Handle> sync_q_;
+  std::vector<Task::Handle> tasks_;
+  Rng rng_;
+  Nanos global_time_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t steps_ = 0;
+  int live_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace capmem::sim

@@ -1,0 +1,150 @@
+// Open-addressing hash table mapping cache-line indices to LineEntry records.
+//
+// This is the hottest data structure in the simulator (every timed access
+// touches it several times); std::unordered_map's node-based layout was
+// measured at >60% of total runtime. Design:
+//   * linear probing over a power-of-two slot array of (key, index) pairs —
+//     12 bytes per slot, cache friendly;
+//   * values live in a deque-backed pool with a free list, so references to
+//     live entries are NEVER invalidated by other inserts or erases;
+//   * erase uses backward-shift deletion (no tombstones, no degradation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace capmem::sim {
+
+template <typename Value>
+class LineTable {
+ public:
+  LineTable() { rehash(1024); }
+
+  std::size_t size() const { return size_; }
+
+  /// Pointer to the value for `key`, or nullptr.
+  Value* find(std::uint64_t key) {
+    std::size_t i = probe_start(key);
+    while (slots_[i].idx != kEmpty) {
+      if (slots_[i].key == key)
+        return &pool_[slots_[i].idx];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const Value* find(std::uint64_t key) const {
+    return const_cast<LineTable*>(this)->find(key);
+  }
+
+  /// Value for `key`, default-constructing it if absent. The returned
+  /// reference stays valid until this exact key is erased.
+  Value& get_or_create(std::uint64_t key) {
+    if (size_ + size_ / 4 >= slots_.size()) rehash(slots_.size() * 2);
+    std::size_t i = probe_start(key);
+    while (slots_[i].idx != kEmpty) {
+      if (slots_[i].key == key) return pool_[slots_[i].idx];
+      i = (i + 1) & mask_;
+    }
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      pool_[idx] = Value{};
+    } else {
+      idx = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    slots_[i] = Slot{key, idx};
+    ++size_;
+    return pool_[idx];
+  }
+
+  /// Removes `key` if present; returns whether it was.
+  bool erase(std::uint64_t key) {
+    std::size_t i = probe_start(key);
+    while (slots_[i].idx != kEmpty) {
+      if (slots_[i].key == key) {
+        free_.push_back(slots_[i].idx);
+        backward_shift(i);
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  void clear() {
+    for (auto& s : slots_) s.idx = kEmpty;
+    pool_.clear();
+    free_.clear();
+    size_ = 0;
+  }
+
+  /// Visits every (key, value). Order unspecified.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.idx != kEmpty) fn(s.key, pool_[s.idx]);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t idx = kEmpty;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 29;
+    return x;
+  }
+  std::size_t probe_start(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix(key)) & mask_;
+  }
+
+  void backward_shift(std::size_t hole) {
+    std::size_t i = hole;
+    while (true) {
+      i = (i + 1) & mask_;
+      if (slots_[i].idx == kEmpty) break;
+      const std::size_t home = probe_start(slots_[i].key);
+      // Move slot i into the hole unless it sits between home and hole
+      // (cyclic test: the element must probe *through* the hole).
+      const bool movable =
+          ((i - home) & mask_) >= ((i - hole) & mask_);
+      if (movable) {
+        slots_[hole] = slots_[i];
+        hole = i;
+      }
+    }
+    slots_[hole] = Slot{};
+  }
+
+  void rehash(std::size_t new_cap) {
+    CAPMEM_CHECK((new_cap & (new_cap - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    for (const Slot& s : old) {
+      if (s.idx == kEmpty) continue;
+      std::size_t i = probe_start(s.key);
+      while (slots_[i].idx != kEmpty) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::deque<Value> pool_;
+  std::vector<std::uint32_t> free_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace capmem::sim

@@ -1,0 +1,350 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace capmem::sim {
+
+// ---------------------------------------------------------------- awaiters
+
+namespace detail {
+
+void LineOp::await_suspend(Task::Handle h) {
+  auto& p = h.promise();
+  const Allocation& al = m->allocation_of(addr);
+  out = m->memsys().access(ctx->tid(), ctx->core(), line_of(addr), al.place,
+                       type, opts, p.clock);
+  p.clock = out.finish;
+  if (is_u64) {
+    if (is_rmw) {
+      loaded = m->space().load<std::uint64_t>(addr);
+      m->space().store<std::uint64_t>(addr, loaded + store_value);
+    } else if (type == AccessType::kRead) {
+      loaded = m->space().load<std::uint64_t>(addr);
+    } else {
+      m->space().store<std::uint64_t>(addr, store_value);
+    }
+  }
+  if (type == AccessType::kWrite) {
+    m->engine().notify(line_of(addr), out.finish);
+  }
+  p.engine->requeue(h);
+}
+
+namespace {
+
+// One chunk step of a RangeOp: advances the task clock through up to
+// `chunk_lines` lines of the kernel. Shared by the initial suspend and the
+// pump callbacks.
+void range_step(RangeOp& op, Task::Handle h) {
+  auto& p = h.promise();
+  Machine& m = *op.m;
+  const int tid = op.ctx->tid();
+  const int core = op.ctx->core();
+
+  AccessOpts read_opts;
+  read_opts.vector = op.opts.vector;
+  read_opts.streaming = true;
+  AccessOpts write_opts = read_opts;
+  write_opts.nt = op.opts.nt;
+  // Copy/triad stores are part of a mixed read+write stream; pure write
+  // streams pay the memory write-turnaround occupancy.
+  write_opts.copy_pair = op.kind == RangeOp::Kind::kCopy ||
+                         op.kind == RangeOp::Kind::kTriad;
+
+  const std::uint64_t chunk =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(op.opts.chunk_lines),
+                              op.total_lines - op.done_lines);
+  for (std::uint64_t i = 0; i < chunk; ++i) {
+    const std::uint64_t off = (op.done_lines + i) * kLineBytes;
+    switch (op.kind) {
+      case RangeOp::Kind::kRead: {
+        const Allocation& al = m.allocation_of(op.a);
+        p.clock = m.memsys()
+                      .access(tid, core, line_of(op.a + off), al.place,
+                              AccessType::kRead, read_opts, p.clock)
+                      .finish;
+        break;
+      }
+      case RangeOp::Kind::kWrite: {
+        const Allocation& al = m.allocation_of(op.a);
+        p.clock = m.memsys()
+                      .access(tid, core, line_of(op.a + off), al.place,
+                              AccessType::kWrite, write_opts, p.clock)
+                      .finish;
+        m.engine().notify(line_of(op.a + off), p.clock);
+        break;
+      }
+      case RangeOp::Kind::kCopy: {
+        const Allocation& src = m.allocation_of(op.b);
+        AccessOpts ro = read_opts;
+        ro.copy_pair = true;
+        p.clock = m.memsys()
+                      .access(tid, core, line_of(op.b + off), src.place,
+                              AccessType::kRead, ro, p.clock)
+                      .finish;
+        const Allocation& dst = m.allocation_of(op.a);
+        p.clock = m.memsys()
+                      .access(tid, core, line_of(op.a + off), dst.place,
+                              AccessType::kWrite, write_opts, p.clock)
+                      .finish;
+        if (op.move_data && src.has_data && dst.has_data) {
+          const std::uint64_t n = std::min<std::uint64_t>(
+              kLineBytes, op.bytes - (op.done_lines + i) * kLineBytes);
+          std::memcpy(m.space().data(op.a + off, n),
+                      m.space().data(op.b + off, n), n);
+        }
+        m.engine().notify(line_of(op.a + off), p.clock);
+        break;
+      }
+      case RangeOp::Kind::kTriad: {
+        const Allocation& b = m.allocation_of(op.b);
+        const Allocation& c = m.allocation_of(op.c);
+        const Allocation& a = m.allocation_of(op.a);
+        AccessOpts ro = read_opts;
+        ro.copy_pair = true;
+        p.clock = m.memsys()
+                      .access(tid, core, line_of(op.b + off), b.place,
+                              AccessType::kRead, ro, p.clock)
+                      .finish;
+        p.clock = m.memsys()
+                      .access(tid, core, line_of(op.c + off), c.place,
+                              AccessType::kRead, ro, p.clock)
+                      .finish;
+        p.clock = m.memsys()
+                      .access(tid, core, line_of(op.a + off), a.place,
+                              AccessType::kWrite, write_opts, p.clock)
+                      .finish;
+        m.engine().notify(line_of(op.a + off), p.clock);
+        break;
+      }
+    }
+  }
+  op.done_lines += chunk;
+}
+
+void range_pump(RangeOp* op, Task::Handle h) {
+  range_step(*op, h);
+  if (op->done_lines >= op->total_lines) {
+    h.promise().engine->requeue(h);
+    return;
+  }
+  h.promise().engine->schedule(h.promise().clock,
+                               [op, h] { range_pump(op, h); });
+}
+
+}  // namespace
+
+bool RangeOp::await_suspend(Task::Handle h) {
+  range_step(*this, h);
+  if (done_lines >= total_lines) {
+    // Completed within the first chunk: resume immediately, but still go
+    // through the scheduler so virtual-time ordering is preserved.
+    h.promise().engine->requeue(h);
+    return true;
+  }
+  RangeOp* self = this;  // awaiter frame is stable while suspended
+  h.promise().engine->schedule(h.promise().clock,
+                               [self, h] { range_pump(self, h); });
+  return true;
+}
+
+bool WaitU64::probe(Task::Handle h, Nanos at) {
+  AccessOpts o;
+  o.polling = true;
+  const Allocation& al = m->allocation_of(addr);
+  const AccessResult r = m->memsys().access(ctx->tid(), ctx->core(),
+                                        line_of(addr), al.place,
+                                        AccessType::kRead, o, at);
+  h.promise().clock = r.finish;
+  seen = m->space().load<std::uint64_t>(addr);
+  return matches(seen);
+}
+
+void WaitU64::await_suspend(Task::Handle h) {
+  if (probe(h, h.promise().clock)) {
+    h.promise().engine->requeue(h);
+    return;
+  }
+  WaitU64* self = this;
+  m->engine().park(line_of(addr), h, [self, h](Nanos visible) {
+    return self->probe(h, std::max(h.promise().clock, visible));
+  });
+}
+
+}  // namespace detail
+
+// --------------------------------------------------------------------- Ctx
+
+int Ctx::tile() const { return m_->topology().tile_of_core(slot_.core); }
+
+int Ctx::domain() const {
+  return m_->topology().domain_of_tile(tile(), m_->config().cluster);
+}
+
+Nanos Ctx::now() const {
+  return m_->engine().task_handle(tid_).promise().clock;
+}
+
+AdvanceTo Ctx::until_tsc(std::uint64_t ticks) const {
+  const double res = m_->config().tsc_resolution_ns;
+  return AdvanceTo{static_cast<double>(ticks) * res -
+                   m_->tsc_skew(slot_.core)};
+}
+
+std::uint64_t Ctx::rdtsc() const {
+  const double t = now() + m_->tsc_skew(slot_.core);
+  const double res = m_->config().tsc_resolution_ns;
+  return static_cast<std::uint64_t>(t / res);
+}
+
+detail::LineOp Ctx::touch(Addr a, AccessType t, AccessOpts o) {
+  return detail::LineOp{m_, this, a, t, o, 0, false, false, {}, 0};
+}
+
+detail::ReadU64 Ctx::read_u64(Addr a, AccessOpts o) {
+  return detail::ReadU64{detail::LineOp{m_, this, a, AccessType::kRead, o, 0,
+                                        true, false, {}, 0}};
+}
+
+detail::LineOp Ctx::write_u64(Addr a, std::uint64_t v, AccessOpts o) {
+  return detail::LineOp{m_, this, a, AccessType::kWrite,
+                        o,  v,    true, false, {}, 0};
+}
+
+detail::ReadU64 Ctx::fetch_add_u64(Addr a, std::uint64_t delta,
+                                   AccessOpts o) {
+  return detail::ReadU64{detail::LineOp{m_, this, a, AccessType::kWrite, o,
+                                        delta, true, true, {}, 0}};
+}
+
+detail::WaitU64 Ctx::wait_eq(Addr a, std::uint64_t v) {
+  return detail::WaitU64{m_, this, a, v, false, 0};
+}
+
+detail::WaitU64 Ctx::wait_ne(Addr a, std::uint64_t v) {
+  return detail::WaitU64{m_, this, a, v, true, 0};
+}
+
+detail::RangeOp Ctx::read_buf(Addr src, std::uint64_t bytes, BufOpts o) {
+  detail::RangeOp op;
+  op.m = m_;
+  op.ctx = this;
+  op.kind = detail::RangeOp::Kind::kRead;
+  op.a = src;
+  op.bytes = bytes;
+  op.opts = o;
+  return op;
+}
+
+detail::RangeOp Ctx::write_buf(Addr dst, std::uint64_t bytes, BufOpts o) {
+  detail::RangeOp op;
+  op.m = m_;
+  op.ctx = this;
+  op.kind = detail::RangeOp::Kind::kWrite;
+  op.a = dst;
+  op.bytes = bytes;
+  op.opts = o;
+  return op;
+}
+
+detail::RangeOp Ctx::copy(Addr dst, Addr src, std::uint64_t bytes,
+                          BufOpts o) {
+  detail::RangeOp op;
+  op.m = m_;
+  op.ctx = this;
+  op.kind = detail::RangeOp::Kind::kCopy;
+  op.a = dst;
+  op.b = src;
+  op.bytes = bytes;
+  op.opts = o;
+  op.move_data = true;
+  return op;
+}
+
+detail::RangeOp Ctx::triad(Addr dst, Addr src1, Addr src2,
+                           std::uint64_t bytes, BufOpts o) {
+  detail::RangeOp op;
+  op.m = m_;
+  op.ctx = this;
+  op.kind = detail::RangeOp::Kind::kTriad;
+  op.a = dst;
+  op.b = src1;
+  op.c = src2;
+  op.bytes = bytes;
+  op.opts = o;
+  return op;
+}
+
+std::uint64_t Ctx::peek_u64(Addr a) const {
+  return m_->space_.load<std::uint64_t>(a);
+}
+
+void Ctx::poke_u64(Addr a, std::uint64_t v) {
+  m_->space_.store<std::uint64_t>(a, v);
+}
+
+// ----------------------------------------------------------------- Machine
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(std::move(cfg)),
+      topo_(cfg_),
+      engine_(cfg_.seed),
+      mem_(cfg_, topo_, engine_.rng()) {
+  cfg_.validate();
+  Rng skew_rng(cfg_.seed ^ 0x75c5u);
+  tsc_skew_.resize(static_cast<std::size_t>(cfg_.cores()));
+  for (auto& s : tsc_skew_) {
+    s = skew_rng.uniform(-cfg_.tsc_skew_ns, cfg_.tsc_skew_ns);
+  }
+}
+
+Addr Machine::alloc(std::string name, std::uint64_t bytes, Placement place,
+                    bool with_data) {
+  if (cfg_.memory == MemoryMode::kCache) {
+    CAPMEM_CHECK_MSG(place.kind == MemKind::kDDR,
+                     "cache mode exposes no MCDRAM address range (alloc '"
+                         << name << "')");
+  }
+  last_alloc_ = nullptr;
+  return space_.alloc(std::move(name), bytes, place, with_data);
+}
+
+int Machine::add_thread(CpuSlot slot, Program program) {
+  CAPMEM_CHECK(!ran_);
+  CAPMEM_CHECK(slot.core >= 0 && slot.core < cfg_.cores());
+  CAPMEM_CHECK(slot.smt >= 0 && slot.smt < cfg_.threads_per_core);
+  ctxs_.emplace_back();
+  Ctx& ctx = ctxs_.back();
+  ctx.m_ = this;
+  ctx.slot_ = slot;
+  programs_.push_back(std::move(program));
+  return static_cast<int>(ctxs_.size()) - 1;
+}
+
+void Machine::run() {
+  CAPMEM_CHECK_MSG(!ran_, "Machine::run is one-shot; build a new Machine");
+  ran_ = true;
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    Ctx& ctx = ctxs_[i];
+    Task t = programs_[i](ctx);
+    const int tid = engine_.spawn(std::move(t));
+    ctx.tid_ = tid;
+  }
+  engine_.run();
+}
+
+void Machine::flush_buffer(Addr base, std::uint64_t bytes,
+                           bool drop_mcdram_cache) {
+  const Line first = line_of(base);
+  const Line last = line_of(base + bytes - 1);
+  for (Line l = first; l <= last; ++l) mem_.flush_line(l, drop_mcdram_cache);
+}
+
+const Allocation& Machine::allocation_of(Addr a) {
+  if (last_alloc_ != nullptr && last_alloc_->contains(a)) return *last_alloc_;
+  last_alloc_ = &space_.find(a);
+  return *last_alloc_;
+}
+
+}  // namespace capmem::sim

@@ -1,0 +1,37 @@
+#include "sim/mcdram_cache.hpp"
+
+namespace capmem::sim {
+
+McdramCache::McdramCache(std::uint64_t capacity_bytes)
+    : sets_count_(capacity_bytes / kLineBytes) {}
+
+bool McdramCache::probe(Line line) const {
+  if (!enabled()) return false;
+  const auto it = tags_.find(set_of(line));
+  return it != tags_.end() && it->second == line;
+}
+
+McdramCache::Access McdramCache::access(Line line) {
+  CAPMEM_CHECK(enabled());
+  Access out;
+  auto [it, inserted] = tags_.try_emplace(set_of(line), line);
+  if (!inserted) {
+    if (it->second == line) {
+      out.hit = true;
+      return out;
+    }
+    out.evicted = it->second;
+    it->second = line;
+  }
+  return out;
+}
+
+void McdramCache::erase(Line line) {
+  if (!enabled()) return;
+  const auto it = tags_.find(set_of(line));
+  if (it != tags_.end() && it->second == line) tags_.erase(it);
+}
+
+void McdramCache::clear() { tags_.clear(); }
+
+}  // namespace capmem::sim

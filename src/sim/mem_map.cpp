@@ -1,0 +1,101 @@
+#include "sim/mem_map.hpp"
+
+#include "common/check.hpp"
+
+namespace capmem::sim {
+
+MemMap::MemMap(const MachineConfig& cfg, const Topology& topo)
+    : cfg_(&cfg),
+      topo_(&topo),
+      dram_channels_(cfg.dram_channels()),
+      mcdram_channels_(cfg.mcdram_controllers) {}
+
+std::uint64_t MemMap::mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+MemTarget MemMap::target(Line line, const Placement& place) const {
+  MemTarget t;
+  // Cache mode backs everything with DDR; the MCDRAM cache sits in front of
+  // the memory controller path and is handled by the memory system, not the
+  // address map.
+  t.kind = cfg_->memory == MemoryMode::kCache ? MemKind::kDDR : place.kind;
+  if (cfg_->memory == MemoryMode::kCache) {
+    CAPMEM_CHECK_MSG(place.kind == MemKind::kDDR,
+                     "cache mode exposes no MCDRAM address range");
+  }
+
+  const bool snc = cfg_->cluster == ClusterMode::kSNC2 ||
+                   cfg_->cluster == ClusterMode::kSNC4;
+  const std::uint64_t h = mix(line * 2 + (t.kind == MemKind::kDDR ? 0 : 1));
+
+  if (t.kind == MemKind::kDDR) {
+    if (snc && place.domain.has_value()) {
+      // Contiguous domain range, interleaved over the channels of the
+      // domain's closest IMC only.
+      const int ndom = Topology::domains(cfg_->cluster);
+      const int dom = *place.domain % ndom;
+      // SNC2 hemispheres map 1:1 onto the two IMCs; SNC4 quadrants share
+      // the IMC on their side of the die.
+      const int quadrant = ndom == 4 ? dom : dom * 2;
+      const int imc = topo_->closest_imc(quadrant);
+      const int per = cfg_->dram_channels_per_controller;
+      t.channel = imc * per + static_cast<int>(h % static_cast<unsigned>(per));
+    } else {
+      t.channel = static_cast<int>(h % static_cast<unsigned>(dram_channels_));
+    }
+    t.mem_stop =
+        topo_->imc_coord(t.channel / cfg_->dram_channels_per_controller);
+  } else {
+    if (snc && place.domain.has_value()) {
+      const auto edcs =
+          topo_->edcs_of_domain(cfg_->cluster, *place.domain %
+                                                   Topology::domains(
+                                                       cfg_->cluster));
+      t.channel = edcs[h % edcs.size()];
+    } else {
+      t.channel =
+          static_cast<int>(h % static_cast<unsigned>(mcdram_channels_));
+    }
+    t.mem_stop = topo_->edc_coord(t.channel);
+  }
+
+  t.home_tile = home_tile(line, t.mem_stop);
+  return t;
+}
+
+int MemMap::home_tile(Line line, Coord mem_stop) const {
+  const std::uint64_t h = mix(line ^ 0xabcdef1234567ull);
+  switch (cfg_->cluster) {
+    case ClusterMode::kA2A: {
+      return static_cast<int>(
+          h % static_cast<unsigned>(topo_->active_tiles()));
+    }
+    case ClusterMode::kQuadrant:
+    case ClusterMode::kSNC4: {
+      // Directory resides in the quadrant of the memory the line is
+      // fetched from.
+      // Grid domain of the memory stop, same halving rule as Topology.
+      const int dom = (mem_stop.col >= (cfg_->mesh_cols + 1) / 2 ? 2 : 0) +
+                      (mem_stop.row >= (cfg_->mesh_rows + 1) / 2 ? 1 : 0);
+      const auto& tiles = topo_->tiles_in_domain(ClusterMode::kSNC4, dom);
+      CAPMEM_CHECK(!tiles.empty());
+      return tiles[h % tiles.size()];
+    }
+    case ClusterMode::kHemisphere:
+    case ClusterMode::kSNC2: {
+      const int dom = mem_stop.col >= (cfg_->mesh_cols + 1) / 2 ? 1 : 0;
+      const auto& tiles = topo_->tiles_in_domain(ClusterMode::kSNC2, dom);
+      CAPMEM_CHECK(!tiles.empty());
+      return tiles[h % tiles.size()];
+    }
+  }
+  return 0;
+}
+
+}  // namespace capmem::sim

@@ -1,0 +1,52 @@
+// Address -> physical-memory / directory mapping (paper §II.C-D).
+//
+// Encodes how each cluster mode distributes cache lines over the memory
+// channels and over the distributed tag directories (CHAs):
+//   A2A        — lines hashed over all channels and all tile directories.
+//   Quadrant   — channels uniform; directory chosen in the quadrant of the
+//                memory stop the line is served from.
+//   Hemisphere — same with two halves.
+//   SNC4/SNC2  — like Quadrant/Hemisphere, plus NUMA-restricted channel
+//                ranges: a domain-placed allocation uses only the channels
+//                of its domain's closest IMC / its domain's EDCs.
+#pragma once
+
+#include "sim/address.hpp"
+#include "sim/config.hpp"
+#include "sim/topology.hpp"
+
+namespace capmem::sim {
+
+/// Physical destination of one cache line.
+struct MemTarget {
+  MemKind kind = MemKind::kDDR;
+  int channel = 0;     ///< global channel index within `kind`
+  Coord mem_stop;      ///< mesh stop of the serving IMC/EDC
+  int home_tile = 0;   ///< tile whose CHA owns the line's directory entry
+};
+
+class MemMap {
+ public:
+  MemMap(const MachineConfig& cfg, const Topology& topo);
+
+  /// Resolves the physical target of `line` for an allocation with
+  /// placement `place`. Deterministic pure function of (line, place).
+  MemTarget target(Line line, const Placement& place) const;
+
+  /// Directory home tile for `line` given the memory stop it is served
+  /// from (exposed separately for tests).
+  int home_tile(Line line, Coord mem_stop) const;
+
+  int dram_channels() const { return dram_channels_; }
+  int mcdram_channels() const { return mcdram_channels_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x);
+
+  const MachineConfig* cfg_;
+  const Topology* topo_;
+  int dram_channels_;
+  int mcdram_channels_;
+};
+
+}  // namespace capmem::sim

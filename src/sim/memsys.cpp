@@ -1,0 +1,663 @@
+#include "sim/memsys.hpp"
+
+#include <algorithm>
+
+namespace capmem::sim {
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kL1: return "L1";
+    case Level::kL2Tile: return "L2-tile";
+    case Level::kRemoteL2: return "remote-L2";
+    case Level::kDram: return "DRAM";
+    case Level::kMcdram: return "MCDRAM";
+    case Level::kMcdramCacheHit: return "MC$-hit";
+    case Level::kMcdramCacheMiss: return "MC$-miss";
+  }
+  return "?";
+}
+
+MemSystem::MemSystem(const MachineConfig& cfg, const Topology& topo, Rng& rng)
+    : cfg_(&cfg),
+      topo_(&topo),
+      rng_(&rng),
+      map_(cfg, topo),
+      mc_cache_(cfg.memory == MemoryMode::kCache
+                    ? cfg.mcdram_bytes
+                    : cfg.memory == MemoryMode::kHybrid
+                          ? static_cast<std::uint64_t>(
+                                static_cast<double>(cfg.mcdram_bytes) *
+                                cfg.hybrid_cache_fraction)
+                          : 0),
+      dram_(cfg.dram_channels(), cfg.bw.dram_channel_gbps,
+            cfg.bw.channel_queue_lines * kLineBytes /
+                cfg.bw.dram_channel_gbps),
+      mcdram_(cfg.mcdram_controllers, cfg.bw.mcdram_channel_gbps,
+              cfg.bw.channel_queue_lines * kLineBytes /
+                  cfg.bw.mcdram_channel_gbps) {
+  for (int c = 0; c < cfg.cores(); ++c)
+    l1_.emplace_back(cfg.l1_bytes, cfg.l1_ways);
+  for (int t = 0; t < cfg.active_tiles; ++t)
+    l2_.emplace_back(cfg.l2_bytes, cfg.l2_ways);
+  core_ports_.resize(static_cast<std::size_t>(cfg.cores()));
+  l2_supply_.resize(static_cast<std::size_t>(cfg.active_tiles));
+  counters_.resize(static_cast<std::size_t>(cfg.hw_threads()));
+  if (cfg.cluster == ClusterMode::kSNC2)
+    extra_sigma_ = cfg.noise.snc2_extra_sigma;
+}
+
+Nanos MemSystem::jitter(Nanos v, bool allow_spike) {
+  if (!cfg_->noise.enabled) return v;
+  const auto& n = cfg_->noise;
+  Nanos out = v * rng_->lognormal_factor(n.service_sigma + extra_sigma_);
+  // Directory-retry spikes model rare latency outliers. They are only
+  // applied to single-line (latency) operations: injecting them into
+  // pipelined streams would punch unfillable holes into the FIFO channel
+  // reservations and artificially halve saturated bandwidth.
+  if (allow_spike && rng_->next_double() < n.spike_prob) out += n.spike_ns;
+  return out;
+}
+
+int MemSystem::mesh_legs(int req_tile, int home_tile, Coord far_stop) const {
+  const Coord rq = topo_->tile_coord(req_tile);
+  const Coord hm = topo_->tile_coord(home_tile);
+  return topo_->hops(rq, hm) + topo_->hops(hm, far_stop) +
+         topo_->hops(far_stop, rq);
+}
+
+int MemSystem::mesh_legs_tiles(int req_tile, int home_tile,
+                               int owner_tile) const {
+  return mesh_legs(req_tile, home_tile, topo_->tile_coord(owner_tile));
+}
+
+Nanos MemSystem::remote_transfer_cost(TileState owner_state, int legs) {
+  const auto& lt = cfg_->lat;
+  double state_adder = lt.remote_state_sf;
+  if (owner_state == TileState::kM) state_adder = lt.remote_state_m;
+  if (owner_state == TileState::kE) state_adder = lt.remote_state_e;
+  return jitter(lt.remote_base + state_adder + lt.hop * legs);
+}
+
+Nanos MemSystem::stream_issue_cost(Level level, TileState prior,
+                                   AccessType type,
+                                   const AccessOpts& opts) const {
+  const auto& bw = cfg_->bw;
+  const auto& lt = cfg_->lat;
+  const double line = static_cast<double>(kLineBytes);
+  if (type == AccessType::kWrite) {
+    // Local store streams occupy a store port; memory-destined write
+    // streams are RFO/latency-bound like reads (the visible-bandwidth
+    // halving comes from the doubled channel traffic).
+    switch (level) {
+      case Level::kL1: return 2.0;
+      case Level::kL2Tile:
+      case Level::kRemoteL2: return 2.5;
+      default: break;  // memory levels fall through to the read costs
+    }
+  }
+  switch (level) {
+    case Level::kL1:
+      return line / (opts.vector ? 20.0 : 10.0);
+    case Level::kL2Tile: {
+      // Calibrated so a copy pair (read + local write) lands at the Table I
+      // intra-tile copy bandwidths: E ~9.2 GB/s, M ~7.5 GB/s.
+      const double base = prior == TileState::kM ? bw.tile_copy_line_m - 2.0
+                                                 : bw.tile_copy_line_e - 2.0;
+      return opts.vector ? base : base * 1.5;
+    }
+    case Level::kRemoteL2: {
+      const double lat = lt.remote_base;
+      const double mlp = opts.copy_pair
+                             ? (opts.vector ? bw.mlp_c2c_copy_vector
+                                            : bw.mlp_c2c_copy_scalar)
+                             : (opts.vector ? bw.mlp_c2c_read_vector
+                                            : bw.mlp_c2c_read_scalar);
+      return lat / mlp;
+    }
+    case Level::kDram:
+    case Level::kMcdramCacheMiss: {
+      const double mlp =
+          opts.vector ? bw.mlp_mem_vector : bw.mlp_mem_scalar;
+      return (lt.dram_service + (level == Level::kMcdramCacheMiss
+                                     ? lt.mc_cache_tag
+                                     : 0.0)) /
+             mlp;
+    }
+    case Level::kMcdram:
+    case Level::kMcdramCacheHit: {
+      const double mlp =
+          opts.vector ? bw.mlp_mem_vector : bw.mlp_mem_scalar;
+      return (lt.mcdram_service + (level == Level::kMcdramCacheHit
+                                       ? lt.mc_cache_tag
+                                       : 0.0)) /
+             mlp;
+    }
+  }
+  return 10.0;
+}
+
+Nanos MemSystem::l2_supply(int src_tile, Nanos at) {
+  Reservation& port = l2_supply_.at(static_cast<std::size_t>(src_tile));
+  const Nanos service = cfg_->bw.l2_supply_line_ns;
+  return port.acquire(at, service) + service;
+}
+
+Nanos MemSystem::core_issue(int core, Nanos now, Nanos occupancy) {
+  Reservation& port = core_ports_.at(static_cast<std::size_t>(core));
+  const Nanos start =
+      port.acquire(now, occupancy * cfg_->bw.core_issue_fraction);
+  return start + occupancy;
+}
+
+void MemSystem::l1_insert(int core, Line line, LineEntry& e) {
+  if (l1_[static_cast<std::size_t>(core)].contains(line)) return;
+  const auto evicted = l1_[static_cast<std::size_t>(core)].insert(line);
+  e.l1_mask |= 1ull << core;
+  if (evicted) {
+    LineEntry* ve = dir_.find(*evicted);
+    if (ve != nullptr) ve->l1_mask &= ~(1ull << core);
+  }
+}
+
+void MemSystem::evict_l2_victim(int tile, Line victim, Nanos now) {
+  LineEntry* ve = dir_.find(victim);
+  if (ve == nullptr) return;
+  // Drop the victim from the L1s of this tile's cores (inclusive hierarchy).
+  for (int c = topo_->first_core_of_tile(tile);
+       c < topo_->first_core_of_tile(tile) + cfg_->cores_per_tile; ++c) {
+    if ((ve->l1_mask >> c) & 1ull) {
+      l1_[static_cast<std::size_t>(c)].erase(victim);
+      ve->l1_mask &= ~(1ull << c);
+    }
+  }
+  ve->l2_mask &= ~(1ull << tile);
+  if (ve->forward == tile) ve->forward = -1;
+  if (ve->owner == tile) {
+    if (ve->dirty) {
+      // Write-back traffic; in cache/hybrid mode modified lines land in the
+      // memory-side MCDRAM cache (it is inclusive of modified L2 lines).
+      if (mc_cache_.enabled()) {
+        mc_cache_.write_back(victim);
+        mcdram_.transfer(static_cast<int>(victim) %
+                             mcdram_.size(),
+                         now, static_cast<double>(kLineBytes));
+      } else {
+        dram_.transfer(static_cast<int>(victim % static_cast<Line>(
+                                            dram_.size())),
+                       now, static_cast<double>(kLineBytes));
+      }
+    }
+    ve->owner = -1;
+    ve->dirty = false;
+  }
+  dir_.drop_if_invalid(victim);
+}
+
+void MemSystem::fill_caches(int core, int tile, Line line, LineEntry& e) {
+  if (!l2_[static_cast<std::size_t>(tile)].contains(line)) {
+    const auto evicted = l2_[static_cast<std::size_t>(tile)].insert(line);
+    e.l2_mask |= 1ull << tile;
+    if (evicted) evict_l2_victim(tile, *evicted, 0.0);
+  }
+  l1_insert(core, line, e);
+}
+
+void MemSystem::invalidate_others(LineEntry& e, Line line, int keep_tile,
+                                  int tid) {
+  for (int t = 0; t < topo_->active_tiles(); ++t) {
+    if (t == keep_tile || !((e.l2_mask >> t) & 1ull)) continue;
+    l2_[static_cast<std::size_t>(t)].erase(line);
+    e.l2_mask &= ~(1ull << t);
+    for (int c = topo_->first_core_of_tile(t);
+         c < topo_->first_core_of_tile(t) + cfg_->cores_per_tile; ++c) {
+      if ((e.l1_mask >> c) & 1ull) {
+        l1_[static_cast<std::size_t>(c)].erase(line);
+        e.l1_mask &= ~(1ull << c);
+      }
+    }
+    counters_.at(static_cast<std::size_t>(tid)).invalidations++;
+  }
+  // L1 copies in the keep tile held by *other* cores are invalidated by the
+  // caller when needed (intra-tile write).
+  if (e.forward != -1 && e.forward != keep_tile) e.forward = -1;
+  if (e.owner != -1 && e.owner != keep_tile) {
+    e.owner = -1;
+    e.dirty = false;
+  }
+}
+
+AccessResult MemSystem::memory_access(int tid, int core, Line line,
+                                      const MemTarget& target,
+                                      AccessType type, const AccessOpts& opts,
+                                      Nanos now, int req_tile) {
+  auto& ctr = counters_.at(static_cast<std::size_t>(tid));
+  const auto& lt = cfg_->lat;
+  const int legs = mesh_legs(req_tile, target.home_tile, target.mem_stop);
+  const Nanos path = lt.hop * legs;
+
+  AccessResult res;
+  const bool rfo = type == AccessType::kWrite && !opts.nt;
+  // Write traffic: RFO adds the fill read; pure store streams additionally
+  // pay the write-turnaround occupancy (mixed read+write streams, flagged
+  // via copy_pair, amortize it away).
+  double traffic_factor = 1.0;
+  if (type == AccessType::kWrite) {
+    traffic_factor = opts.copy_pair ? 1.0 : cfg_->bw.write_turnaround;
+    if (rfo) traffic_factor += 1.0;
+  }
+  const double traffic = static_cast<double>(kLineBytes) * traffic_factor;
+
+  Nanos service = 0;
+  Nanos channel_done = now;
+  if (target.kind == MemKind::kMCDRAM) {
+    res.level = Level::kMcdram;
+    service = lt.mcdram_service;
+    channel_done = mcdram_.transfer(target.channel, now, traffic);
+    ctr.mcdram_lines++;
+  } else if (!mc_cache_.enabled()) {
+    res.level = Level::kDram;
+    service = lt.dram_service;
+    channel_done = dram_.transfer(target.channel, now, traffic);
+    ctr.dram_lines++;
+  } else {
+    // Cache mode: the memory-side MCDRAM cache fronts the DDR path.
+    const auto mc = mc_cache_.access(line);
+    if (mc.hit) {
+      res.level = Level::kMcdramCacheHit;
+      service = lt.mcdram_service;
+      // Through the memory-side cache, store streams are controller-paced
+      // (no DDR write-turnaround): charge the un-inflated line traffic.
+      const double mc_traffic =
+          static_cast<double>(kLineBytes) * (rfo ? 2.0 : 1.0);
+      channel_done =
+          mcdram_.transfer(static_cast<int>(line) % mcdram_.size(), now,
+                           mc_traffic, cfg_->bw.mc_cache_bw_factor);
+      if (type == AccessType::kWrite) {
+        // Dirtied cache lines are eventually written back to DDR; charge
+        // that traffic now so write streams stay DDR-bound in cache mode
+        // (Table II: cache-mode write 56-72 GB/s vs flat MCDRAM 147-171).
+        channel_done = std::max(
+            channel_done, dram_.transfer(target.channel, now,
+                                         static_cast<double>(kLineBytes)));
+      }
+      ctr.mc_cache_hits++;
+    } else {
+      res.level = Level::kMcdramCacheMiss;
+      service = lt.dram_service + lt.mc_cache_tag;
+      // DDR supplies the data; the line is filled into MCDRAM
+      // simultaneously (paper §II.C), consuming both channels.
+      channel_done = dram_.transfer(target.channel, now, traffic);
+      mcdram_.transfer(static_cast<int>(line) % mcdram_.size(), now,
+                       static_cast<double>(kLineBytes),
+                       cfg_->bw.mc_cache_bw_factor);
+      ctr.mc_cache_misses++;
+      if (mc.evicted) {
+        // Before eviction, a snoop checks for a modified L2 copy.
+        const LineEntry* ev = dir_.find(*mc.evicted);
+        if (ev != nullptr && ev->dirty) service += lt.mc_cache_evict_snoop;
+      }
+      // The DDR access is accounted by mc_cache_misses; dram_lines counts
+      // only flat-mode DDR service so the per-level counters partition
+      // line_ops exactly.
+    }
+  }
+
+  if (opts.streaming) {
+    const Nanos issue = stream_issue_cost(res.level, TileState::kI, type,
+                                          opts);
+    const Nanos core_done = core_issue(core, now, issue);
+    res.finish =
+        std::max({now + jitter(issue, false), core_done, channel_done});
+  } else {
+    const Nanos core_done = core_issue(core, now, 1.0);
+    res.finish =
+        std::max({now + jitter(path + service), core_done, channel_done});
+  }
+  res.prior = TileState::kI;
+  return res;
+}
+
+AccessResult MemSystem::access(int tid, int core, Line line,
+                               const Placement& place, AccessType type,
+                               const AccessOpts& opts, Nanos now) {
+  CAPMEM_CHECK(core >= 0 && core < cfg_->cores());
+  CAPMEM_CHECK(tid >= 0 &&
+               tid < static_cast<int>(counters_.size()));
+  auto& ctr = counters_.at(static_cast<std::size_t>(tid));
+  ctr.line_ops++;
+  const int tile = topo_->tile_of_core(core);
+  const auto& lt = cfg_->lat;
+
+  // Non-temporal stores bypass the hierarchy: invalidate any cached copies,
+  // push the line straight to memory (no RFO, no fill).
+  if (opts.nt && type == AccessType::kWrite) {
+    LineEntry& e = dir_.entry(line);
+    invalidate_others(e, line, /*keep_tile=*/-1, tid);
+    // Also drop our own copy if present.
+    if (e.present_in_tile(tile)) {
+      l2_[static_cast<std::size_t>(tile)].erase(line);
+      e.l2_mask &= ~(1ull << tile);
+      for (int c = topo_->first_core_of_tile(tile);
+           c < topo_->first_core_of_tile(tile) + cfg_->cores_per_tile; ++c) {
+        if ((e.l1_mask >> c) & 1ull) {
+          l1_[static_cast<std::size_t>(c)].erase(line);
+          e.l1_mask &= ~(1ull << c);
+        }
+      }
+      e.owner = -1;
+      e.dirty = false;
+    }
+    const MemTarget target = map_.target(line, place);
+    AccessResult res;
+    const double nt_traffic =
+        static_cast<double>(kLineBytes) *
+        (opts.copy_pair ? 1.0 : cfg_->bw.write_turnaround);
+    Nanos channel_done;
+    if (target.kind == MemKind::kMCDRAM) {
+      channel_done = mcdram_.transfer(target.channel, now, nt_traffic);
+      res.level = Level::kMcdram;
+      ctr.mcdram_lines++;
+    } else if (mc_cache_.enabled()) {
+      // NT data may still be allocated into the memory-side cache
+      // (paper §II.C: even uncacheable data can land in the MCDRAM cache),
+      // but the dirtied line is eventually written back to DDR — charge
+      // both channels so NT write streams stay DDR-bound in cache mode.
+      mc_cache_.access(line);
+      channel_done = mcdram_.transfer(static_cast<int>(line) %
+                                          mcdram_.size(),
+                                      now, static_cast<double>(kLineBytes),
+                                      cfg_->bw.mc_cache_bw_factor);
+      channel_done = std::max(
+          channel_done,
+          dram_.transfer(target.channel, now,
+                         static_cast<double>(kLineBytes)));
+      res.level = Level::kMcdramCacheHit;
+      ctr.mc_cache_hits++;
+    } else {
+      channel_done = dram_.transfer(target.channel, now, nt_traffic);
+      res.level = Level::kDram;
+      ctr.dram_lines++;
+    }
+    const Nanos issue = opts.streaming ? 2.0 : 8.0;
+    const Nanos core_done = core_issue(core, now, issue);
+    res.finish =
+        std::max({now + jitter(issue, false), core_done, channel_done});
+    e.version++;
+    e.last_write_visible = res.finish;
+    Directory::check_entry(e);
+    return res;
+  }
+
+  LineEntry& e = dir_.entry(line);
+  const bool l1_hit = l1_[static_cast<std::size_t>(core)].lookup(line);
+  const bool l2_hit = l2_[static_cast<std::size_t>(tile)].lookup(line);
+  CAPMEM_DCHECK(!l1_hit || l2_hit);
+
+  AccessResult res;
+
+  if (type == AccessType::kRead) {
+    if (l1_hit) {
+      ctr.l1_hits++;
+      res.level = Level::kL1;
+      res.prior = Directory::state_in_tile(e, tile);
+      const Nanos cost = opts.streaming
+                             ? stream_issue_cost(Level::kL1, res.prior, type,
+                                                 opts)
+                             : lt.l1_hit;
+      res.finish = opts.streaming
+                       ? std::max(now + cost, core_issue(core, now, cost))
+                       : std::max(now + cost, core_issue(core, now, 1.0));
+      return res;
+    }
+    if (l2_hit) {
+      ctr.l2_tile_hits++;
+      res.level = Level::kL2Tile;
+      res.prior = Directory::state_in_tile(e, tile);
+      Nanos cost;
+      if (opts.streaming) {
+        cost = stream_issue_cost(Level::kL2Tile, res.prior, type, opts);
+        res.finish =
+            std::max(now + jitter(cost, false), core_issue(core, now, cost));
+      } else {
+        cost = res.prior == TileState::kM   ? lt.l2_tile_m
+               : res.prior == TileState::kE ? lt.l2_tile_e
+                                            : lt.l2_tile_sf;
+        // Reading another core's modified tile line forces the write-back
+        // downgrade inside the tile (M -> shared within tile).
+        res.finish = std::max(now + jitter(cost), core_issue(core, now, 1.0));
+      }
+      l1_insert(core, line, e);
+      Directory::check_entry(e);
+      return res;
+    }
+
+    // Directory request: serialize at the line's CHA (contention law).
+    const Nanos svc_start = std::max(now, e.service_available);
+    e.service_available = svc_start + jitter(lt.line_service, false);
+    const MemTarget target = map_.target(line, place);
+
+    if (e.owner >= 0 && e.owner != tile) {
+      // Remote M/E: cache-to-cache transfer.
+      ctr.remote_hits++;
+      res.level = Level::kRemoteL2;
+      res.prior = e.dirty ? TileState::kM : TileState::kE;
+      const int legs = mesh_legs_tiles(tile, target.home_tile, e.owner);
+      Nanos cost;
+      if (opts.streaming) {
+        cost = stream_issue_cost(Level::kRemoteL2, res.prior, type, opts);
+        res.finish = std::max(svc_start + jitter(cost, false),
+                              core_issue(core, now, cost));
+      } else {
+        cost = remote_transfer_cost(res.prior, legs);
+        res.finish =
+            std::max(svc_start + cost, core_issue(core, now, 1.0));
+      }
+      res.finish = std::max(res.finish, l2_supply(e.owner, svc_start));
+      if (e.dirty) {
+        // Downgrade write-back (MESIF: dirty owner -> S, memory updated).
+        ctr.writebacks++;
+        if (mc_cache_.enabled()) {
+          mc_cache_.write_back(line);
+        } else if (target.kind == MemKind::kMCDRAM) {
+          mcdram_.transfer(target.channel, now,
+                           static_cast<double>(kLineBytes));
+        } else {
+          dram_.transfer(target.channel, now,
+                         static_cast<double>(kLineBytes));
+        }
+      }
+      e.owner = -1;
+      e.dirty = false;
+      e.forward = tile;  // newest requester holds F (MESIF)
+      fill_caches(core, tile, line, e);
+      Directory::check_entry(e);
+      return res;
+    }
+
+    if (e.l2_mask != 0) {
+      // Shared: served by the forwarder if one exists, else by memory.
+      res.prior = e.forward >= 0 ? TileState::kF : TileState::kS;
+      if (e.forward >= 0) {
+        ctr.remote_hits++;
+        res.level = Level::kRemoteL2;
+        const int legs = mesh_legs_tiles(tile, target.home_tile, e.forward);
+        Nanos cost;
+        if (opts.streaming) {
+          cost = stream_issue_cost(Level::kRemoteL2, res.prior, type, opts);
+          res.finish = std::max(svc_start + jitter(cost, false),
+                                core_issue(core, now, cost));
+        } else {
+          cost = remote_transfer_cost(res.prior, legs);
+          res.finish =
+              std::max(svc_start + cost, core_issue(core, now, 1.0));
+        }
+        res.finish = std::max(res.finish, l2_supply(e.forward, svc_start));
+        e.forward = tile;  // F migrates to the newest requester
+        fill_caches(core, tile, line, e);
+        Directory::check_entry(e);
+        return res;
+      }
+      // Silent sharers only: memory supplies the data.
+      res = memory_access(tid, core, line, target, type, opts,
+                          std::max(now, svc_start), tile);
+      e.forward = tile;
+      fill_caches(core, tile, line, e);
+      Directory::check_entry(e);
+      return res;
+    }
+
+    // Globally invalid: fetch from memory, install Exclusive.
+    res = memory_access(tid, core, line, target, type, opts,
+                        std::max(now, svc_start), tile);
+    e.owner = tile;
+    e.dirty = false;
+    fill_caches(core, tile, line, e);
+    Directory::check_entry(e);
+    return res;
+  }
+
+  // --- write path ---
+  if (e.owner == tile && l2_hit) {
+    // We own the line: silent upgrade M, drop other-core L1 copies in tile.
+    res.level = l1_hit ? Level::kL1 : Level::kL2Tile;
+    res.prior = e.dirty ? TileState::kM : TileState::kE;
+    if (l1_hit) ctr.l1_hits++; else ctr.l2_tile_hits++;
+    for (int c = topo_->first_core_of_tile(tile);
+         c < topo_->first_core_of_tile(tile) + cfg_->cores_per_tile; ++c) {
+      if (c != core && ((e.l1_mask >> c) & 1ull)) {
+        l1_[static_cast<std::size_t>(c)].erase(line);
+        e.l1_mask &= ~(1ull << c);
+      }
+    }
+    Nanos cost;
+    if (opts.streaming) {
+      cost = stream_issue_cost(l1_hit ? Level::kL1 : Level::kL2Tile,
+                               res.prior, type, opts);
+      res.finish = std::max(now + cost, core_issue(core, now, cost));
+    } else {
+      cost = l1_hit ? lt.l1_hit
+                    : (e.dirty ? lt.l2_tile_m : lt.l2_tile_e);
+      res.finish = std::max(now + jitter(cost), core_issue(core, now, 1.0));
+    }
+    e.dirty = true;
+    l1_insert(core, line, e);
+    e.version++;
+    e.last_write_visible = res.finish;
+    Directory::check_entry(e);
+    return res;
+  }
+
+  // RFO through the directory.
+  const Nanos svc_start = std::max(now, e.service_available);
+  e.service_available = svc_start + jitter(lt.line_service, false);
+  const MemTarget target = map_.target(line, place);
+
+  if (e.owner >= 0 && e.owner != tile) {
+    ctr.remote_hits++;
+    res.level = Level::kRemoteL2;
+    res.prior = e.dirty ? TileState::kM : TileState::kE;
+    const int legs = mesh_legs_tiles(tile, target.home_tile, e.owner);
+    const int src = e.owner;
+    Nanos cost;
+    if (opts.streaming) {
+      cost = stream_issue_cost(Level::kRemoteL2, res.prior, type, opts);
+      res.finish = std::max(svc_start + jitter(cost, false),
+                            core_issue(core, now, cost));
+    } else {
+      cost = remote_transfer_cost(res.prior, legs);
+      res.finish = std::max(svc_start + cost, core_issue(core, now, 1.0));
+    }
+    res.finish = std::max(res.finish, l2_supply(src, svc_start));
+    invalidate_others(e, line, tile, tid);
+  } else if (e.l2_mask != 0 && !(e.owner == tile)) {
+    // Upgrade from shared: invalidation round via the home CHA.
+    res.level = Level::kRemoteL2;
+    res.prior = e.present_in_tile(tile)
+                    ? Directory::state_in_tile(e, tile)
+                    : (e.forward >= 0 ? TileState::kF : TileState::kS);
+    const int far = e.forward >= 0 ? e.forward : tile;
+    const int legs = mesh_legs_tiles(tile, target.home_tile, far);
+    Nanos cost;
+    if (opts.streaming) {
+      cost = stream_issue_cost(Level::kRemoteL2, TileState::kS, type, opts);
+      res.finish = std::max(svc_start + jitter(cost, false),
+                            core_issue(core, now, cost));
+    } else {
+      cost = remote_transfer_cost(TileState::kS, legs);
+      res.finish = std::max(svc_start + cost, core_issue(core, now, 1.0));
+    }
+    invalidate_others(e, line, tile, tid);
+    ctr.remote_hits++;
+  } else {
+    // Globally invalid (or stale self-entry): RFO memory fetch.
+    res = memory_access(tid, core, line, target, type, opts,
+                        std::max(now, svc_start), tile);
+  }
+
+  e.owner = tile;
+  e.dirty = true;
+  e.forward = -1;
+  fill_caches(core, tile, line, e);
+  // Only this core's L1 may keep the copy after a write.
+  for (int c = topo_->first_core_of_tile(tile);
+       c < topo_->first_core_of_tile(tile) + cfg_->cores_per_tile; ++c) {
+    if (c != core && ((e.l1_mask >> c) & 1ull)) {
+      l1_[static_cast<std::size_t>(c)].erase(line);
+      e.l1_mask &= ~(1ull << c);
+    }
+  }
+  e.version++;
+  e.last_write_visible = res.finish;
+  Directory::check_entry(e);
+  return res;
+}
+
+void MemSystem::flush_line(Line line, bool drop_mcdram_cache) {
+  LineEntry* e = dir_.find(line);
+  if (e != nullptr) {
+    for (int t = 0; t < topo_->active_tiles(); ++t) {
+      if ((e->l2_mask >> t) & 1ull)
+        l2_[static_cast<std::size_t>(t)].erase(line);
+    }
+    for (int c = 0; c < cfg_->cores(); ++c) {
+      if ((e->l1_mask >> c) & 1ull)
+        l1_[static_cast<std::size_t>(c)].erase(line);
+    }
+    e->l2_mask = 0;
+    e->l1_mask = 0;
+    e->owner = -1;
+    e->forward = -1;
+    e->dirty = false;
+    dir_.drop_if_invalid(line);
+  }
+  if (drop_mcdram_cache) mc_cache_.erase(line);
+}
+
+void MemSystem::reset() {
+  for (auto& c : l1_) c.clear();
+  for (auto& c : l2_) c.clear();
+  mc_cache_.clear();
+  dram_.reset();
+  mcdram_.reset();
+  for (auto& p : core_ports_) p.reset();
+  for (auto& p : l2_supply_) p.reset();
+  dir_.clear();
+}
+
+void MemSystem::clear_counters() {
+  for (auto& c : counters_) c = ThreadCounters{};
+}
+
+double MemSystem::dram_busy_ns() const {
+  double b = 0;
+  for (int c = 0; c < dram_.size(); ++c) b += dram_.busy(c);
+  return b;
+}
+
+double MemSystem::mcdram_busy_ns() const {
+  double b = 0;
+  for (int c = 0; c < mcdram_.size(); ++c) b += mcdram_.busy(c);
+  return b;
+}
+
+}  // namespace capmem::sim

@@ -1,0 +1,152 @@
+// The memory system: every timed memory operation goes through here.
+//
+// Given (thread, line, read/write, options, virtual time), this module
+//   1. walks the cache hierarchy (per-core L1, per-tile L2),
+//   2. performs the MESIF directory transition,
+//   3. reserves contended resources (per-line CHA service, per-core issue
+//      ports, memory channels, memory-side MCDRAM cache in cache mode),
+//   4. returns the completion time plus a breakdown of where the line came
+//      from.
+//
+// Single-line ("latency") operations pay the full round-trip; streaming
+// operations (multi-line copies, STREAM kernels) pay a pipelined per-line
+// issue cost bounded below by the resource reservations, which is what makes
+// bandwidth saturate at the channel rates while a single thread stays
+// latency/MLP-bound (paper §V.A, Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/address.hpp"
+#include "sim/cache.hpp"
+#include "sim/coherence.hpp"
+#include "sim/config.hpp"
+#include "sim/mcdram_cache.hpp"
+#include "sim/mem_map.hpp"
+#include "sim/resource.hpp"
+#include "sim/topology.hpp"
+
+namespace capmem::sim {
+
+/// Where a request was satisfied.
+enum class Level {
+  kL1,
+  kL2Tile,      ///< own tile's L2 (possibly the other core's data)
+  kRemoteL2,    ///< another tile's L2 via the directory
+  kDram,
+  kMcdram,
+  kMcdramCacheHit,   ///< cache mode: hit in the memory-side cache
+  kMcdramCacheMiss,  ///< cache mode: miss, served from DDR + fill
+};
+const char* to_string(Level level);
+
+enum class AccessType { kRead, kWrite };
+
+struct AccessOpts {
+  bool vector = true;     ///< AVX-512-style access (higher MLP)
+  bool nt = false;        ///< non-temporal hint: bypass caches, no RFO
+  bool streaming = false; ///< part of a pipelined multi-line operation
+  bool copy_pair = false; ///< streaming read that feeds a paired store
+  bool polling = false;   ///< spin-poll read (repeated; L1-hit when cached)
+};
+
+struct AccessResult {
+  Nanos finish = 0;       ///< completion time of this line
+  Level level = Level::kL1;
+  TileState prior = TileState::kI;  ///< state at the serving location
+};
+
+/// Per-thread event counters (exposed through Machine for tests and the
+/// efficiency analyses).
+/// The classification counters (l1_hits .. mc_cache_misses) partition
+/// line_ops: every access increments exactly one of them.
+struct ThreadCounters {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_tile_hits = 0;
+  std::uint64_t remote_hits = 0;
+  std::uint64_t dram_lines = 0;
+  std::uint64_t mcdram_lines = 0;
+  std::uint64_t mc_cache_hits = 0;
+  std::uint64_t mc_cache_misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t line_ops = 0;
+};
+
+class MemSystem {
+ public:
+  MemSystem(const MachineConfig& cfg, const Topology& topo, Rng& rng);
+
+  /// Timed access to one line by HW thread `tid` running on `core`.
+  /// `place` is the placement of the owning allocation. Mutates coherence
+  /// state; returns completion time.
+  AccessResult access(int tid, int core, Line line, const Placement& place,
+                      AccessType type, const AccessOpts& opts, Nanos now);
+
+  /// Untimed full flush of a line: drops it from every cache and the
+  /// directory (and optionally the MCDRAM cache). Harness primitive used
+  /// to reset cache state between benchmark iterations.
+  void flush_line(Line line, bool drop_mcdram_cache = true);
+
+  /// Untimed reset of all caches/directory/resources (between experiments).
+  void reset();
+
+  const ThreadCounters& counters(int tid) const { return counters_.at(tid); }
+  void clear_counters();
+
+  const Directory& directory() const { return dir_; }
+  TileState state_in_tile(Line line, int tile) const {
+    return dir_.state_in_tile(line, tile);
+  }
+
+  /// Aggregate bytes of DRAM / MCDRAM channel traffic so far.
+  double dram_busy_ns() const;
+  double mcdram_busy_ns() const;
+
+  int tile_of_core(int core) const { return topo_->tile_of_core(core); }
+
+ private:
+  // Cost helpers. `legs` is the mesh path length in hops.
+  Nanos jitter(Nanos v, bool allow_spike = true);
+  int mesh_legs(int req_tile, int home_tile, Coord far_stop) const;
+  int mesh_legs_tiles(int req_tile, int home_tile, int owner_tile) const;
+
+  Nanos remote_transfer_cost(TileState owner_state, int legs);
+  AccessResult memory_access(int tid, int core, Line line,
+                             const MemTarget& target, AccessType type,
+                             const AccessOpts& opts, Nanos now,
+                             int req_tile);
+
+  // State maintenance.
+  void fill_caches(int core, int tile, Line line, LineEntry& e);
+  void evict_l2_victim(int tile, Line victim, Nanos now);
+  void invalidate_others(LineEntry& e, Line line, int keep_tile, int tid);
+  void l1_insert(int core, Line line, LineEntry& e);
+
+  // Streaming issue occupancy for a line served at `level`.
+  Nanos stream_issue_cost(Level level, TileState prior, AccessType type,
+                          const AccessOpts& opts) const;
+  // Reserve the core's issue ports; returns completion of the issue slot.
+  Nanos core_issue(int core, Nanos now, Nanos occupancy);
+  // Reserve the source tile's L2 supply port for one c2c line; returns the
+  // time the line has been served.
+  Nanos l2_supply(int src_tile, Nanos at);
+
+  const MachineConfig* cfg_;
+  const Topology* topo_;
+  Rng* rng_;
+  MemMap map_;
+  Directory dir_;
+  McdramCache mc_cache_;
+  ChannelPool dram_;
+  ChannelPool mcdram_;
+  std::vector<SetAssocCache> l1_;          // per core
+  std::vector<SetAssocCache> l2_;          // per tile
+  std::vector<Reservation> core_ports_;    // per core
+  std::vector<Reservation> l2_supply_;     // per tile: c2c source bandwidth
+  std::vector<ThreadCounters> counters_;   // per tid (grown on demand)
+  double extra_sigma_ = 0.0;               // SNC2 experimental-mode variance
+};
+
+}  // namespace capmem::sim

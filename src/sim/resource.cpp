@@ -1,0 +1,5 @@
+#include "sim/resource.hpp"
+
+// Header-only today; this TU anchors the module in the build so future
+// out-of-line additions have a home.
+namespace capmem::sim {}

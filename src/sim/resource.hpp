@@ -1,0 +1,92 @@
+// Reservation resources: the contention primitives of the simulator.
+//
+// A Reservation models a serially reusable unit (a memory channel, a core's
+// load/store issue ports). Acquiring it at virtual time `now` for `service`
+// nanoseconds returns the start time max(now, available) and pushes the
+// availability forward. Because the engine executes operations in
+// nondecreasing virtual time, this is an exact single-server FIFO queue.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace capmem::sim {
+
+class Reservation {
+ public:
+  /// Reserves the resource; returns the service start time.
+  Nanos acquire(Nanos now, Nanos service) {
+    CAPMEM_DCHECK(service >= 0);
+    const Nanos start = now > available_ ? now : available_;
+    available_ = start + service;
+    busy_ += service;
+    return start;
+  }
+
+  /// Completion time of the last reservation.
+  Nanos available() const { return available_; }
+  /// Total busy time, for utilization accounting.
+  Nanos busy() const { return busy_; }
+
+  void reset() {
+    available_ = 0;
+    busy_ = 0;
+  }
+
+ private:
+  Nanos available_ = 0;
+  Nanos busy_ = 0;
+};
+
+/// A set of identical parallel servers (e.g. the channels of one memory
+/// kind). Callers address a specific channel (the address map decides which
+/// line lives on which channel).
+///
+/// Each channel is a rate limiter with a bounded request queue: a requester
+/// may run up to `lead_ns` of reserved work ahead of its own clock before
+/// the channel exerts backpressure. This models the memory controller's
+/// per-channel queue absorbing bursts — without it, one-outstanding-line
+/// threads convoy on randomly imbalanced channels and a saturated memory
+/// system idles at ~50% utilization, which real controllers do not.
+class ChannelPool {
+ public:
+  ChannelPool(int channels, GBps per_channel_rate, Nanos lead_ns = 0)
+      : rate_(per_channel_rate),
+        lead_ns_(lead_ns),
+        channels_(static_cast<std::size_t>(channels)) {
+    CAPMEM_CHECK(channels > 0 && per_channel_rate > 0);
+  }
+
+  /// Reserves `bytes` of transfer on `channel`; returns the time at which
+  /// the requester may consider the transfer complete. The request is
+  /// back-dated by up to `lead_ns` (the controller had it queued while the
+  /// requester's clock was held up elsewhere), so a channel that fell idle
+  /// within the lead window still serves it without a gap.
+  Nanos transfer(int channel, Nanos now, double bytes,
+                 double rate_factor = 1.0) {
+    Reservation& ch = channels_.at(static_cast<std::size_t>(channel));
+    const Nanos service = bytes / (rate_ * rate_factor);
+    const Nanos done = ch.acquire(now - lead_ns_, service) + service;
+    return std::max(now, done);
+  }
+
+  int size() const { return static_cast<int>(channels_.size()); }
+  GBps rate() const { return rate_; }
+  Nanos lead() const { return lead_ns_; }
+  Nanos busy(int channel) const {
+    return channels_.at(static_cast<std::size_t>(channel)).busy();
+  }
+  void reset() {
+    for (auto& c : channels_) c.reset();
+  }
+
+ private:
+  GBps rate_;
+  Nanos lead_ns_;
+  std::vector<Reservation> channels_;
+};
+
+}  // namespace capmem::sim

@@ -1,0 +1,75 @@
+#include "sim/thread.hpp"
+
+#include "common/check.hpp"
+
+namespace capmem::sim {
+
+const char* to_string(Schedule s) {
+  switch (s) {
+    case Schedule::kScatter: return "scatter";
+    case Schedule::kFillTiles: return "fill-tiles";
+    case Schedule::kFillCores: return "fill-cores";
+  }
+  return "?";
+}
+
+Schedule schedule_from_string(const std::string& s) {
+  if (s == "scatter") return Schedule::kScatter;
+  if (s == "fill-tiles") return Schedule::kFillTiles;
+  if (s == "fill-cores") return Schedule::kFillCores;
+  CAPMEM_CHECK_MSG(false, "unknown schedule '" << s << "'");
+}
+
+std::vector<CpuSlot> make_schedule(const MachineConfig& cfg, Schedule sched,
+                                   int nthreads) {
+  CAPMEM_CHECK_MSG(nthreads > 0 && nthreads <= cfg.hw_threads(),
+                   "nthreads=" << nthreads << " exceeds "
+                               << cfg.hw_threads() << " HW threads");
+  const int tiles = cfg.active_tiles;
+  const int cpt = cfg.cores_per_tile;
+  const int smt = cfg.threads_per_core;
+  std::vector<CpuSlot> out;
+  out.reserve(static_cast<std::size_t>(nthreads));
+
+  switch (sched) {
+    case Schedule::kScatter:
+      // Layers: (smt s, core-of-tile c) ordered by s then c, tiles fastest.
+      for (int s = 0; s < smt && static_cast<int>(out.size()) < nthreads;
+           ++s) {
+        for (int c = 0; c < cpt && static_cast<int>(out.size()) < nthreads;
+             ++c) {
+          for (int t = 0;
+               t < tiles && static_cast<int>(out.size()) < nthreads; ++t) {
+            out.push_back(CpuSlot{t * cpt + c, s});
+          }
+        }
+      }
+      break;
+    case Schedule::kFillTiles:
+      for (int s = 0; s < smt && static_cast<int>(out.size()) < nthreads;
+           ++s) {
+        for (int t = 0; t < tiles && static_cast<int>(out.size()) < nthreads;
+             ++t) {
+          for (int c = 0;
+               c < cpt && static_cast<int>(out.size()) < nthreads; ++c) {
+            out.push_back(CpuSlot{t * cpt + c, s});
+          }
+        }
+      }
+      break;
+    case Schedule::kFillCores:
+      for (int core = 0;
+           core < cfg.cores() && static_cast<int>(out.size()) < nthreads;
+           ++core) {
+        for (int s = 0; s < smt && static_cast<int>(out.size()) < nthreads;
+             ++s) {
+          out.push_back(CpuSlot{core, s});
+        }
+      }
+      break;
+  }
+  CAPMEM_CHECK(static_cast<int>(out.size()) == nthreads);
+  return out;
+}
+
+}  // namespace capmem::sim

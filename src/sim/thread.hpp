@@ -1,0 +1,33 @@
+// Thread pinning schedules (paper §IV.B.3 and §V.A).
+//
+// The paper pins threads with three schedules:
+//   scatter     — first one thread per tile, then the second core of each
+//                 tile, then the SMT layers ("1/2/4 threads per core").
+//   fill tiles  — one thread per core, walking tiles in order (both cores
+//                 of tile 0, then tile 1, ...), then the SMT layers.
+//   fill cores  — compact: all four HW threads of core 0, then core 1, ...
+#pragma once
+
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace capmem::sim {
+
+enum class Schedule { kScatter, kFillTiles, kFillCores };
+
+const char* to_string(Schedule s);
+Schedule schedule_from_string(const std::string& s);
+
+/// One pinning slot: a core and an SMT slot on it.
+struct CpuSlot {
+  int core = 0;
+  int smt = 0;
+};
+
+/// First `nthreads` pinning slots under `sched`. nthreads must not exceed
+/// cfg.hw_threads().
+std::vector<CpuSlot> make_schedule(const MachineConfig& cfg, Schedule sched,
+                                   int nthreads);
+
+}  // namespace capmem::sim

@@ -1,0 +1,184 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace capmem::sim {
+
+namespace {
+// Bit-mix used to pick which physical tiles are disabled; deterministic per
+// machine seed so the "unknown tile location" property of real KNL parts is
+// reproduced without being the same for every config.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Topology::Topology(const MachineConfig& cfg)
+    : rows_(cfg.mesh_rows),
+      cols_(cfg.mesh_cols),
+      cores_per_tile_(cfg.cores_per_tile),
+      num_edcs_(cfg.mcdram_controllers),
+      num_imcs_(cfg.dram_controllers) {
+  cfg.validate();
+
+  // Memory stops: IMCs sit mid-height on the left/right die edges, EDCs in
+  // the corners (paper Fig. 2b). They occupy conceptual stops and do not
+  // consume tile slots in this model.
+  for (int i = 0; i < num_imcs_; ++i) {
+    imc_pos_.push_back(Coord{rows_ / 2, i % 2 == 0 ? 0 : cols_ - 1});
+  }
+  for (int e = 0; e < num_edcs_; ++e) {
+    const int corner = e % 4;
+    const int row = corner < 2 ? 0 : rows_ - 1;
+    int col = corner % 2 == 0 ? 0 : cols_ - 1;
+    if (e >= 4) col = std::clamp(col + (corner % 2 == 0 ? 1 : -1), 0,
+                                 cols_ - 1);
+    edc_pos_.push_back(Coord{row, col});
+  }
+
+  // Enumerate all grid slots per quadrant, then pick `physical_tiles` of
+  // them round-robin across quadrants so the physical part is as balanced
+  // as the grid allows. The yield-victim tiles are then disabled so every
+  // quadrant ends with exactly active_tiles/4 tiles — real parts are fused
+  // that way so SNC4 exposes equal NUMA domains.
+  std::vector<std::vector<Coord>> quad_slots(4);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      quad_slots[static_cast<std::size_t>(grid_domain(Coord{r, c}, 4))]
+          .push_back(Coord{r, c});
+    }
+  }
+  std::vector<std::vector<Coord>> by_quad(4);
+  int picked = 0;
+  for (std::size_t k = 0; picked < cfg.physical_tiles; ++k) {
+    bool any = false;
+    for (std::size_t q = 0; q < 4 && picked < cfg.physical_tiles; ++q) {
+      if (k < quad_slots[q].size()) {
+        by_quad[q].push_back(quad_slots[q][k]);
+        ++picked;
+        any = true;
+      }
+    }
+    CAPMEM_CHECK_MSG(any || picked >= cfg.physical_tiles,
+                     "grid too small for physical_tiles");
+  }
+
+  const int target = cfg.active_tiles / 4;
+  std::uint64_t h = mix(cfg.seed + 0x7031);
+  for (auto& q : by_quad) {
+    CAPMEM_CHECK_MSG(static_cast<int>(q.size()) >= target,
+                     "cannot balance quadrants: a quadrant has only "
+                         << q.size() << " physical tiles, need " << target);
+    while (static_cast<int>(q.size()) > target) {
+      h = mix(h);
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(h % q.size()));
+    }
+  }
+  for (const auto& q : by_quad)
+    for (const Coord& s : q) tile_pos_.push_back(s);
+  // Logical order must not leak position: shuffle deterministically.
+  Rng rng(cfg.seed + 0x1109);
+  for (std::size_t i = tile_pos_.size(); i > 1; --i) {
+    std::swap(tile_pos_[i - 1], tile_pos_[rng.next_below(i)]);
+  }
+  CAPMEM_CHECK(static_cast<int>(tile_pos_.size()) == cfg.active_tiles);
+
+  for (int logdom = 0; logdom < 3; ++logdom) {
+    const int ndom = 1 << logdom;
+    domain_tiles_[logdom].assign(static_cast<std::size_t>(ndom), {});
+    for (int t = 0; t < active_tiles(); ++t) {
+      domain_tiles_[logdom][static_cast<std::size_t>(
+                                grid_domain(tile_pos_[static_cast<std::size_t>(
+                                                t)],
+                                            ndom))]
+          .push_back(t);
+    }
+  }
+}
+
+Coord Topology::tile_coord(int t) const {
+  CAPMEM_CHECK(t >= 0 && t < active_tiles());
+  return tile_pos_[static_cast<std::size_t>(t)];
+}
+
+int Topology::hops(Coord a, Coord b) const {
+  return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+int Topology::tile_hops(int ta, int tb) const {
+  return hops(tile_coord(ta), tile_coord(tb));
+}
+
+int Topology::grid_domain(Coord c, int ndom) const {
+  if (ndom == 1) return 0;
+  const int right = c.col >= (cols_ + 1) / 2 ? 1 : 0;
+  if (ndom == 2) return right;
+  const int bottom = c.row >= (rows_ + 1) / 2 ? 1 : 0;
+  return right * 2 + bottom;
+}
+
+int Topology::domains(ClusterMode mode) {
+  switch (mode) {
+    case ClusterMode::kSNC4:
+    case ClusterMode::kQuadrant: return 4;
+    case ClusterMode::kSNC2:
+    case ClusterMode::kHemisphere: return 2;
+    case ClusterMode::kA2A: return 1;
+  }
+  return 1;
+}
+
+int Topology::domain_of_tile(int tile, ClusterMode mode) const {
+  return grid_domain(tile_coord(tile), domains(mode));
+}
+
+const std::vector<int>& Topology::tiles_in_domain(ClusterMode mode,
+                                                  int domain) const {
+  const int ndom = domains(mode);
+  CAPMEM_CHECK(domain >= 0 && domain < ndom);
+  const int logdom = ndom == 4 ? 2 : ndom == 2 ? 1 : 0;
+  return domain_tiles_[logdom][static_cast<std::size_t>(domain)];
+}
+
+Coord Topology::imc_coord(int imc) const {
+  CAPMEM_CHECK(imc >= 0 && imc < num_imcs_);
+  return imc_pos_[static_cast<std::size_t>(imc)];
+}
+
+Coord Topology::edc_coord(int edc) const {
+  CAPMEM_CHECK(edc >= 0 && edc < num_edcs_);
+  return edc_pos_[static_cast<std::size_t>(edc)];
+}
+
+int Topology::closest_imc(int quadrant) const {
+  // Left-side quadrants (0,1) use IMC 0, right-side (2,3) use IMC 1
+  // (quadrant id is right*2+bottom).
+  return (quadrant >= 2 && num_imcs_ > 1) ? 1 : 0;
+}
+
+std::vector<int> Topology::edcs_of_domain(ClusterMode mode, int domain) const {
+  const int ndom = domains(mode);
+  std::vector<int> out;
+  for (int e = 0; e < num_edcs_; ++e) {
+    if (ndom == 1) {
+      out.push_back(e);
+      continue;
+    }
+    const int edom = grid_domain(edc_pos_[static_cast<std::size_t>(e)], ndom);
+    if (edom == domain) out.push_back(e);
+  }
+  if (out.empty()) out.push_back(domain % num_edcs_);  // degenerate meshes
+  return out;
+}
+
+}  // namespace capmem::sim

@@ -1,0 +1,86 @@
+// Mesh topology: tile placement, disabled tiles, cluster-domain assignment,
+// and ring routing distances (paper §II.B).
+//
+// The mesh is a grid of slots. Some slots hold tiles; the remaining slots
+// model the IMC/EDC/IO stops. Because of yield, some physical tiles are
+// disabled (paper: at least two) — the preset machine disables
+// `physical_tiles - active_tiles` of them deterministically. As on real KNL,
+// the *position* of a given active tile is not exposed to software: the
+// benchmark layer only sees logical tile ids and the SNC/quadrant domain id.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace capmem::sim {
+
+/// Grid coordinate of a mesh stop.
+struct Coord {
+  int row = 0;
+  int col = 0;
+  bool operator==(const Coord&) const = default;
+};
+
+class Topology {
+ public:
+  explicit Topology(const MachineConfig& cfg);
+
+  int active_tiles() const { return static_cast<int>(tile_pos_.size()); }
+  int cores() const { return active_tiles() * cores_per_tile_; }
+
+  /// Physical grid position of logical (active) tile `t`.
+  Coord tile_coord(int t) const;
+
+  /// Logical tile of core `c` and cores of tile `t`.
+  int tile_of_core(int core) const { return core / cores_per_tile_; }
+  int first_core_of_tile(int tile) const { return tile * cores_per_tile_; }
+
+  /// Mesh hop count between two stops. Packets route Y first, then X; the
+  /// half-rings re-inject at die edges, so distance is Manhattan.
+  int hops(Coord a, Coord b) const;
+  int tile_hops(int ta, int tb) const;
+
+  /// Cluster domain of a tile under `mode`: quadrant id (0..3) for
+  /// SNC4/Quadrant, hemisphere id (0..1) for SNC2/Hemisphere, 0 for A2A.
+  int domain_of_tile(int tile, ClusterMode mode) const;
+  /// Number of domains for `mode` (4, 2, or 1).
+  static int domains(ClusterMode mode);
+
+  /// Active tiles belonging to `domain` under `mode`.
+  const std::vector<int>& tiles_in_domain(ClusterMode mode, int domain) const;
+
+  /// Mesh stop of DDR controller `imc` (0..1) / MCDRAM EDC `edc` (0..7,
+  /// modulo the configured controller count).
+  Coord imc_coord(int imc) const;
+  Coord edc_coord(int edc) const;
+
+  /// DDR controller / EDC serving a given quadrant (for SNC interleaving:
+  /// "the DDR range assigned to a quadrant is interleaved among the three
+  /// channels of the closest DDR memory controller", paper §II.D).
+  int closest_imc(int quadrant) const;
+  std::vector<int> edcs_of_domain(ClusterMode mode, int domain) const;
+
+  /// Quadrant (always 4-way) of a tile, independent of cluster mode — used
+  /// by the memory map for quadrant/SNC4 affinity.
+  int quadrant_of_tile(int tile) const {
+    return domain_of_tile(tile, ClusterMode::kSNC4);
+  }
+
+ private:
+  int grid_domain(Coord c, int ndom) const;
+
+  int rows_;
+  int cols_;
+  int cores_per_tile_;
+  int num_edcs_;
+  int num_imcs_;
+  std::vector<Coord> tile_pos_;           // active tile -> coord
+  std::vector<Coord> imc_pos_;
+  std::vector<Coord> edc_pos_;
+  // domain -> tiles, for ndom in {1,2,4} indexed by log2(ndom)
+  std::vector<std::vector<int>> domain_tiles_[3];
+};
+
+}  // namespace capmem::sim

@@ -1,0 +1,63 @@
+#include "sort/bitonic_net.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace capmem::sort {
+
+namespace {
+// One compare-exchange on lanes i and j (ascending).
+inline void cmpx(Vec16& v, int i, int j) {
+  if (v[static_cast<std::size_t>(i)] > v[static_cast<std::size_t>(j)]) {
+    std::swap(v[static_cast<std::size_t>(i)],
+              v[static_cast<std::size_t>(j)]);
+  }
+}
+}  // namespace
+
+void sort16(Vec16& v) {
+  // Batcher's bitonic sorting network for 16 elements: stages k = 2..16,
+  // sub-stages j = k/2..1; lane pairs (i, i^j) compared in the direction
+  // given by bit k of i.
+  for (int k = 2; k <= 16; k <<= 1) {
+    for (int j = k >> 1; j > 0; j >>= 1) {
+      for (int i = 0; i < 16; ++i) {
+        const int l = i ^ j;
+        if (l > i) {
+          const bool ascending = (i & k) == 0;
+          if (ascending) {
+            cmpx(v, i, l);
+          } else {
+            cmpx(v, l, i);
+          }
+        }
+      }
+    }
+  }
+}
+
+void merge16(Vec16& lo, Vec16& hi) {
+  // Classic vectorized merge: reverse the second sorted sequence to form a
+  // bitonic sequence of 32, then run log2(32) = 5 butterfly stages.
+  std::reverse(hi.begin(), hi.end());
+  // Stage 1: element-wise min/max across the two vectors.
+  for (int i = 0; i < 16; ++i) {
+    if (lo[static_cast<std::size_t>(i)] > hi[static_cast<std::size_t>(i)]) {
+      std::swap(lo[static_cast<std::size_t>(i)],
+                hi[static_cast<std::size_t>(i)]);
+    }
+  }
+  // Stages 2-5 inside each vector (bitonic cleaner of width 16).
+  auto clean = [](Vec16& v) {
+    for (int j = 8; j > 0; j >>= 1) {
+      for (int i = 0; i < 16; ++i) {
+        const int l = i ^ j;
+        if (l > i) cmpx(v, i, l);
+      }
+    }
+  };
+  clean(lo);
+  clean(hi);
+}
+
+}  // namespace capmem::sort

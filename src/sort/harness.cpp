@@ -1,0 +1,64 @@
+#include "sort/harness.hpp"
+
+#include "common/check.hpp"
+#include "sort/bitonic_net.hpp"
+#include "common/log.hpp"
+
+namespace capmem::sort {
+
+model::SortModel make_sort_model(const sim::MachineConfig& cfg,
+                                 const model::CapabilityModel& caps,
+                                 sim::MemKind kind,
+                                 const std::vector<int>& fit_threads,
+                                 const SortOptions& opts) {
+  model::SortArch arch;
+  arch.l1_bytes = cfg.l1_bytes;
+  arch.l2_bytes = cfg.l2_bytes;
+  arch.threads_per_tile = cfg.cores_per_tile;
+  arch.bitonic_ns_per_line = merge16_ns();
+  model::SortModel sm(caps, arch);
+
+  std::vector<double> measured;
+  for (int n : fit_threads) {
+    SortOptions o = opts;
+    const SortRun run = parallel_merge_sort(cfg, KiB(1), n, o);
+    CAPMEM_CHECK_MSG(run.sorted_ok && run.checksum_ok,
+                     "1 KB fit sort failed verification");
+    measured.push_back(run.total_ns);
+  }
+  sm.fit_overhead(fit_threads, measured, kind);
+  CAPMEM_LOG_INFO << "sort overhead model: " << sm.overhead().alpha << " + "
+                  << sm.overhead().beta << "*threads (r2="
+                  << sm.overhead().r2 << ")";
+  return sm;
+}
+
+SortCurves sort_sweep(const sim::MachineConfig& cfg,
+                      const model::SortModel& model, std::uint64_t bytes,
+                      const std::vector<int>& threads,
+                      const SortOptions& opts) {
+  SortCurves out;
+  out.bytes = bytes;
+  for (int n : threads) {
+    CAPMEM_LOG_INFO << "sort sweep: " << bytes << " B, " << n << " threads";
+    const SortRun run = parallel_merge_sort(cfg, bytes, n, opts);
+    if (!run.sorted_ok || !run.checksum_ok) out.all_correct = false;
+    out.threads.push_back(n);
+    out.measured_ns.push_back(run.total_ns);
+    out.mem_model_lat_ns.push_back(
+        model.predict(bytes, n, opts.kind, /*use_bandwidth=*/false));
+    out.mem_model_bw_ns.push_back(
+        model.predict(bytes, n, opts.kind, /*use_bandwidth=*/true));
+    out.full_model_lat_ns.push_back(
+        model.predict_full(bytes, n, opts.kind, false));
+    out.full_model_bw_ns.push_back(
+        model.predict_full(bytes, n, opts.kind, true));
+    if (out.cutoff_threads < 0 &&
+        model.overhead_fraction(bytes, n, opts.kind) > 0.10) {
+      out.cutoff_threads = n;
+    }
+  }
+  return out;
+}
+
+}  // namespace capmem::sort

@@ -1,0 +1,43 @@
+// Sort experiment harness (paper Fig. 10): measured sort times next to the
+// four model curves (memory model with latency / bandwidth cost, and the
+// corresponding full models with the fitted overhead), plus the >10%
+// overhead cutoff that marks where the implementation stops being
+// memory-bound.
+#pragma once
+
+#include <vector>
+
+#include "model/sort_model.hpp"
+#include "sort/parallel_sort.hpp"
+
+namespace capmem::sort {
+
+/// Builds the sort model for `cfg` and fits its overhead term from
+/// measured 1 KB sorts over `fit_threads` (paper §V.B.2).
+model::SortModel make_sort_model(const sim::MachineConfig& cfg,
+                                 const model::CapabilityModel& caps,
+                                 sim::MemKind kind,
+                                 const std::vector<int>& fit_threads,
+                                 const SortOptions& opts = {});
+
+struct SortCurves {
+  std::uint64_t bytes = 0;
+  std::vector<int> threads;
+  std::vector<double> measured_ns;
+  std::vector<double> mem_model_lat_ns;
+  std::vector<double> mem_model_bw_ns;
+  std::vector<double> full_model_lat_ns;
+  std::vector<double> full_model_bw_ns;
+  /// First thread count whose overhead exceeds 10% of the memory model
+  /// (-1: never) — the paper's vertical marker.
+  int cutoff_threads = -1;
+  bool all_correct = true;
+};
+
+/// Measured-vs-model sweep for one input size.
+SortCurves sort_sweep(const sim::MachineConfig& cfg,
+                      const model::SortModel& model, std::uint64_t bytes,
+                      const std::vector<int>& threads,
+                      const SortOptions& opts = {});
+
+}  // namespace capmem::sort

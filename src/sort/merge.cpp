@@ -1,0 +1,161 @@
+#include "sort/merge.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace capmem::sort {
+
+using sim::AccessOpts;
+using sim::AccessType;
+using sim::Addr;
+using sim::Task;
+
+namespace {
+// Lines processed per engine step: small enough that concurrent merging
+// threads interleave their channel reservations in virtual-time order.
+constexpr int kChunk = 4;
+
+AccessOpts read_opts() {
+  AccessOpts o;
+  o.streaming = true;
+  o.copy_pair = true;  // merge streams feed a paired store
+  return o;
+}
+AccessOpts write_opts(bool nt) {
+  AccessOpts o;
+  o.streaming = true;
+  o.nt = nt;
+  return o;
+}
+}  // namespace
+
+void MergeOp::load_line(Addr a, Vec16& v) const {
+  std::memcpy(v.data(), ctx->machine().space().data(a, kLineBytes),
+              kLineBytes);
+}
+
+void MergeOp::store_line(Addr a, const Vec16& v) const {
+  std::memcpy(ctx->machine().space().data(a, kLineBytes), v.data(),
+              kLineBytes);
+}
+
+void MergeOp::step(Task::Handle h) {
+  auto& p = h.promise();
+  auto& mem = ctx->machine().memsys();
+  auto& machine = ctx->machine();
+  const int tid = ctx->tid();
+  const int core = ctx->core();
+  const AccessOpts ro = read_opts();
+  const AccessOpts wo = write_opts(nt);
+
+  auto timed_read = [&](Addr a) {
+    p.clock = mem.access(tid, core, sim::line_of(a),
+                         machine.allocation_of(a).place, AccessType::kRead,
+                         ro, p.clock)
+                  .finish;
+  };
+  auto timed_write = [&](Addr a) {
+    p.clock = mem.access(tid, core, sim::line_of(a),
+                         machine.allocation_of(a).place, AccessType::kWrite,
+                         wo, p.clock)
+                  .finish;
+    machine.engine().notify(sim::line_of(a), p.clock);
+  };
+  auto head_of = [&](Addr base, std::uint64_t idx) {
+    return *reinterpret_cast<const std::int32_t*>(
+        machine.space().data(base + idx * kLineBytes, 4));
+  };
+
+  for (int budget = 0; budget < kChunk; ++budget) {
+    if (!primed_) {
+      Vec16 a, b;
+      timed_read(in1);
+      load_line(in1, a);
+      timed_read(in2);
+      load_line(in2, b);
+      i1_ = 1;
+      i2_ = 1;
+      merge16(a, b);
+      p.clock += merge16_ns();
+      store_line(out, a);
+      timed_write(out);
+      iout_ = 1;
+      cur_ = b;
+      primed_ = true;
+      continue;
+    }
+    if (i1_ >= n1 && i2_ >= n2) {
+      // Drain: the pending high vector is the final output line.
+      store_line(out + iout_ * kLineBytes, cur_);
+      timed_write(out + iout_ * kLineBytes);
+      ++iout_;
+      CAPMEM_DCHECK(iout_ == n1 + n2);
+      p.engine->requeue(h);
+      return;
+    }
+    // Pull from the run whose next head is smaller (merge-path rule).
+    Vec16 next;
+    if (i1_ < n1 &&
+        (i2_ >= n2 || head_of(in1, i1_) <= head_of(in2, i2_))) {
+      timed_read(in1 + i1_ * kLineBytes);
+      load_line(in1 + i1_ * kLineBytes, next);
+      ++i1_;
+    } else {
+      timed_read(in2 + i2_ * kLineBytes);
+      load_line(in2 + i2_ * kLineBytes, next);
+      ++i2_;
+    }
+    merge16(cur_, next);
+    p.clock += merge16_ns();
+    store_line(out + iout_ * kLineBytes, cur_);
+    timed_write(out + iout_ * kLineBytes);
+    ++iout_;
+    cur_ = next;
+  }
+  MergeOp* self = this;
+  p.engine->schedule(p.clock, [self, h] { self->step(h); });
+}
+
+void MergeOp::await_suspend(Task::Handle h) {
+  CAPMEM_CHECK(n1 >= 1 && n2 >= 1);
+  step(h);
+}
+
+void SortLinesOp::step(Task::Handle h) {
+  auto& p = h.promise();
+  auto& mem = ctx->machine().memsys();
+  auto& machine = ctx->machine();
+  const AccessOpts ro = read_opts();
+  AccessOpts wo;
+  wo.streaming = true;
+
+  for (int budget = 0; budget < kChunk * 2; ++budget) {
+    if (done_ >= lines) {
+      p.engine->requeue(h);
+      return;
+    }
+    const Addr a = buf + done_ * kLineBytes;
+    p.clock = mem.access(ctx->tid(), ctx->core(), sim::line_of(a),
+                         machine.allocation_of(a).place, AccessType::kRead,
+                         ro, p.clock)
+                  .finish;
+    Vec16 v;
+    std::memcpy(v.data(), machine.space().data(a, kLineBytes), kLineBytes);
+    sort16(v);
+    p.clock += sort16_ns();
+    std::memcpy(machine.space().data(a, kLineBytes), v.data(), kLineBytes);
+    p.clock = mem.access(ctx->tid(), ctx->core(), sim::line_of(a),
+                         machine.allocation_of(a).place, AccessType::kWrite,
+                         wo, p.clock)
+                  .finish;
+    machine.engine().notify(sim::line_of(a), p.clock);
+    ++done_;
+  }
+  SortLinesOp* self = this;
+  p.engine->schedule(p.clock, [self, h] { self->step(h); });
+}
+
+void SortLinesOp::await_suspend(Task::Handle h) { step(h); }
+
+}  // namespace capmem::sort

@@ -1,0 +1,40 @@
+// Parallel integer merge sort with bitonic-network merging and ping-pong
+// buffers (paper §V.B): every thread sorts its chunk locally (leaf sort16
+// pass + within-chunk merge levels), then threads pair up in a binary
+// merge tree where the worker count halves per stage — the access pattern
+// whose bandwidth needs the sort model explains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/memsys.hpp"
+#include "sim/thread.hpp"
+
+namespace capmem::sort {
+
+struct SortOptions {
+  sim::MemKind kind = sim::MemKind::kDDR;  ///< buffer placement (flat mode)
+  sim::Schedule sched = sim::Schedule::kFillTiles;
+  bool nt_writes = false;
+  std::uint64_t seed = 99;
+  bool verify = true;  ///< host-side sorted/permutation check after the run
+};
+
+struct SortRun {
+  double total_ns = 0;   ///< makespan (max thread finish time)
+  bool sorted_ok = true; ///< verification result
+  std::uint64_t checksum_ok = true;
+  /// Per-thread event counters, for resource-efficiency assessment
+  /// (model::assess).
+  std::vector<sim::ThreadCounters> counters;
+};
+
+/// Sorts `bytes` of random int32 keys with `nthreads` on a fresh machine.
+/// `bytes` and `nthreads` must be powers of two with bytes/nthreads >= 64.
+SortRun parallel_merge_sort(const sim::MachineConfig& cfg,
+                            std::uint64_t bytes, int nthreads,
+                            const SortOptions& opts = {});
+
+}  // namespace capmem::sort

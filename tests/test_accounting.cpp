@@ -1,0 +1,180 @@
+// Conservation/accounting invariants of the memory system: every line op is
+// classified exactly once, channel busy time equals traffic served, and
+// aggregate bandwidth never exceeds physical channel capacity.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace capmem::sim {
+namespace {
+
+MachineConfig quiet() {
+  MachineConfig cfg = knl7210();
+  cfg.noise.enabled = false;
+  return cfg;
+}
+
+// Sum of the per-level classification counters for thread `tid`.
+std::uint64_t classified_ops(const ThreadCounters& c) {
+  return c.l1_hits + c.l2_tile_hits + c.remote_hits + c.dram_lines +
+         c.mcdram_lines + c.mc_cache_hits + c.mc_cache_misses;
+}
+
+TEST(Accounting, EveryReadClassifiedExactlyOnce) {
+  Machine m(quiet());
+  const Addr buf = m.alloc("b", KiB(256), {}, false);
+  m.add_thread({0, 0}, [&](Ctx& ctx) -> Task {
+    co_await ctx.read_buf(buf, KiB(256));   // cold: memory
+    co_await ctx.read_buf(buf, KiB(256));   // warm: L1/L2 mix
+  });
+  m.run();
+  const ThreadCounters& c = m.memsys().counters(0);
+  EXPECT_EQ(c.line_ops, 2 * KiB(256) / kLineBytes);
+  EXPECT_EQ(classified_ops(c), c.line_ops);
+}
+
+TEST(Accounting, CacheModeOpsClassifiedOnce) {
+  MachineConfig cfg = knl7210(ClusterMode::kQuadrant, MemoryMode::kCache);
+  cfg.scale_memory(256);
+  cfg.noise.enabled = false;
+  Machine m(cfg);
+  const Addr buf = m.alloc("b", KiB(64), {}, false);
+  m.add_thread({0, 0}, [&](Ctx& ctx) -> Task {
+    co_await ctx.read_buf(buf, KiB(64));
+    ctx.machine().flush_buffer(buf, KiB(64), /*drop_mcdram_cache=*/false);
+    co_await ctx.read_buf(buf, KiB(64));  // memory-side cache hits
+  });
+  m.run();
+  const ThreadCounters& c = m.memsys().counters(0);
+  EXPECT_EQ(classified_ops(c), c.line_ops);
+  EXPECT_GT(c.mc_cache_hits, 0u);
+}
+
+TEST(Accounting, DramBusyMatchesTrafficServed) {
+  // A pure cold read stream of N lines must book exactly N * 64B / rate of
+  // channel busy time (no RFO, no write-backs).
+  MachineConfig cfg = quiet();
+  Machine m(cfg);
+  const std::uint64_t bytes = MiB(1);
+  const Addr buf = m.alloc("b", bytes, {}, false);
+  m.add_thread({0, 0}, [&](Ctx& ctx) -> Task {
+    co_await ctx.read_buf(buf, bytes);
+  });
+  m.run();
+  const double expected_busy =
+      static_cast<double>(bytes) / cfg.bw.dram_channel_gbps;
+  EXPECT_NEAR(m.memsys().dram_busy_ns(), expected_busy,
+              expected_busy * 0.01);
+}
+
+TEST(Accounting, RfoWritesDoubleTheTraffic) {
+  MachineConfig cfg = quiet();
+  auto busy_for = [&](bool nt) {
+    Machine m(cfg);
+    const std::uint64_t bytes = KiB(256);
+    const Addr buf = m.alloc("b", bytes, {}, false);
+    m.add_thread({0, 0}, [&, nt](Ctx& ctx) -> Task {
+      BufOpts o;
+      o.nt = nt;
+      co_await ctx.write_buf(buf, bytes, o);
+    });
+    m.run();
+    return m.memsys().dram_busy_ns();
+  };
+  // Pure stores pay the write-turnaround either way; RFO adds the fill
+  // read on top (3x total vs 2x for NT).
+  EXPECT_NEAR(busy_for(false) / busy_for(true), 1.5, 0.05);
+}
+
+TEST(Accounting, AggregateBandwidthNeverExceedsChannelSum) {
+  MachineConfig cfg = quiet();
+  Machine m(cfg);
+  const std::uint64_t bytes = MiB(1);
+  const int n = 32;
+  std::vector<Addr> bufs;
+  for (int i = 0; i < n; ++i)
+    bufs.push_back(m.alloc("b" + std::to_string(i), bytes, {}, false));
+  Nanos end = 0;
+  const auto slots = make_schedule(cfg, Schedule::kFillTiles, n);
+  for (int i = 0; i < n; ++i) {
+    m.add_thread(slots[static_cast<std::size_t>(i)],
+                 [&, i](Ctx& ctx) -> Task {
+                   co_await ctx.read_buf(bufs[static_cast<std::size_t>(i)],
+                                         bytes);
+                   end = std::max(end, ctx.now());
+                 });
+  }
+  m.run();
+  const double agg = bandwidth_gbps(bytes * n, end);
+  const double cap = cfg.bw.dram_channel_gbps * cfg.dram_channels();
+  EXPECT_LE(agg, cap * 1.001);
+  EXPECT_GT(agg, cap * 0.85);  // and saturation actually uses the channels
+}
+
+TEST(Accounting, WritebacksCountedOnDowngrade) {
+  Machine m(quiet());
+  const Addr buf = m.alloc("b", kLineBytes, {}, true);
+  m.add_thread({0, 0}, [&](Ctx& ctx) -> Task {
+    co_await ctx.write_u64(buf, 1);  // M in tile 0
+    co_await ctx.sync();
+    co_await ctx.sync();
+  });
+  m.add_thread({10, 0}, [&](Ctx& ctx) -> Task {
+    co_await ctx.sync();
+    co_await ctx.read_u64(buf);  // forces the downgrade write-back
+    co_await ctx.sync();
+  });
+  m.run();
+  EXPECT_EQ(m.memsys().counters(1).writebacks, 1u);
+}
+
+TEST(Accounting, InvalidationsCountedOnUpgrade) {
+  Machine m(quiet());
+  const Addr buf = m.alloc("b", kLineBytes, {}, true);
+  m.add_thread({0, 0}, [&](Ctx& ctx) -> Task {
+    co_await ctx.read_u64(buf);
+    co_await ctx.sync();
+    co_await ctx.sync();
+  });
+  m.add_thread({10, 0}, [&](Ctx& ctx) -> Task {
+    co_await ctx.sync();
+    co_await ctx.read_u64(buf);   // two sharers now
+    co_await ctx.write_u64(buf, 1);  // invalidate the other tile
+    co_await ctx.sync();
+  });
+  m.run();
+  EXPECT_GE(m.memsys().counters(1).invalidations, 1u);
+}
+
+TEST(Accounting, VirtualTimeNeverDecreases) {
+  // Interleaved mixed workload: each thread's clock is nondecreasing and
+  // the engine's global time ends at the max thread clock.
+  Machine m(quiet());
+  const Addr shared = m.alloc("s", KiB(4), {}, true);
+  Rng rng(9);
+  std::vector<double> finals(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    m.add_thread({t * 2, 0}, [&, t](Ctx& ctx) -> Task {
+      Nanos prev = 0;
+      Rng local(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < 200; ++i) {
+        const Addr a = shared + local.next_below(64) * kLineBytes;
+        if (local.next_below(2) == 0) {
+          co_await ctx.touch(a, AccessType::kRead);
+        } else {
+          co_await ctx.compute(local.uniform(1, 20));
+        }
+        EXPECT_GE(ctx.now(), prev);  // ASSERT cannot return from a coroutine
+        prev = ctx.now();
+      }
+      finals[static_cast<std::size_t>(t)] = ctx.now();
+    });
+  }
+  m.run();
+  EXPECT_DOUBLE_EQ(m.elapsed(),
+                   *std::max_element(finals.begin(), finals.end()));
+}
+
+}  // namespace
+}  // namespace capmem::sim

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "sim/address.hpp"
+
+namespace capmem::sim {
+namespace {
+
+TEST(AddressSpace, AllocRoundsToLines) {
+  AddressSpace s;
+  const Addr a = s.alloc("x", 100, {}, false);
+  const Allocation& al = s.find(a);
+  EXPECT_EQ(al.bytes, 128u);
+  EXPECT_EQ(al.base % kLineBytes, 0u);
+}
+
+TEST(AddressSpace, FindByInteriorAddress) {
+  AddressSpace s;
+  const Addr a = s.alloc("x", KiB(1), {}, false);
+  EXPECT_EQ(s.find(a + 500).base, a);
+  EXPECT_TRUE(s.valid(a + 1023));
+  EXPECT_FALSE(s.valid(a + KiB(1)));
+}
+
+TEST(AddressSpace, WildAddressThrows) {
+  AddressSpace s;
+  s.alloc("x", 64, {}, false);
+  EXPECT_THROW(s.find(1), CheckError);
+}
+
+TEST(AddressSpace, GuardLineBetweenAllocations) {
+  AddressSpace s;
+  const Addr a = s.alloc("a", 64, {}, false);
+  const Addr b = s.alloc("b", 64, {}, false);
+  EXPECT_GE(b, a + 128);  // 64B payload + 64B guard
+  EXPECT_FALSE(s.valid(a + 64));
+}
+
+TEST(AddressSpace, DataRoundTrip) {
+  AddressSpace s;
+  const Addr a = s.alloc("d", 256, {}, true);
+  s.store<std::uint64_t>(a + 8, 0xdeadbeefull);
+  EXPECT_EQ(s.load<std::uint64_t>(a + 8), 0xdeadbeefull);
+  s.store<std::uint32_t>(a + 252, 7u);
+  EXPECT_EQ(s.load<std::uint32_t>(a + 252), 7u);
+}
+
+TEST(AddressSpace, DatalessAccessThrows) {
+  AddressSpace s;
+  const Addr a = s.alloc("nd", 64, {}, false);
+  EXPECT_THROW(s.load<std::uint64_t>(a), CheckError);
+}
+
+TEST(AddressSpace, CrossAllocationAccessThrows) {
+  AddressSpace s;
+  const Addr a = s.alloc("d", 64, {}, true);
+  EXPECT_THROW(s.data(a + 60, 8), CheckError);
+}
+
+TEST(AddressSpace, ZeroSizeThrows) {
+  AddressSpace s;
+  EXPECT_THROW(s.alloc("z", 0, {}, false), CheckError);
+}
+
+TEST(AddressSpace, FreeRemoves) {
+  AddressSpace s;
+  const Addr a = s.alloc("x", 64, {}, false);
+  s.free(a);
+  EXPECT_FALSE(s.valid(a));
+  EXPECT_THROW(s.free(a), CheckError);
+}
+
+TEST(AddressSpace, DataZeroInitialized) {
+  AddressSpace s;
+  const Addr a = s.alloc("d", 128, {}, true);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(s.load<std::uint64_t>(a + i * 8), 0u);
+}
+
+TEST(AddressSpace, PlacementStored) {
+  AddressSpace s;
+  const Addr a =
+      s.alloc("m", 64, {MemKind::kMCDRAM, std::optional<int>(2)}, false);
+  EXPECT_EQ(s.find(a).place.kind, MemKind::kMCDRAM);
+  EXPECT_EQ(s.find(a).place.domain, 2);
+}
+
+TEST(LineMath, LineOfAndBase) {
+  EXPECT_EQ(line_of(0), 0u);
+  EXPECT_EQ(line_of(63), 0u);
+  EXPECT_EQ(line_of(64), 1u);
+  EXPECT_EQ(line_base(130), 128u);
+  EXPECT_EQ(lines_for(1), 1u);
+  EXPECT_EQ(lines_for(64), 1u);
+  EXPECT_EQ(lines_for(65), 2u);
+}
+
+}  // namespace
+}  // namespace capmem::sim

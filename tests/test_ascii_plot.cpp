@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ascii_plot.hpp"
+#include "common/check.hpp"
+
+namespace capmem {
+namespace {
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  std::ostringstream os;
+  PlotSeries s1{"dram", {1, 2, 4, 8}, {10, 20, 35, 38}};
+  PlotSeries s2{"mcdram", {1, 2, 4, 8}, {9, 18, 36, 72}};
+  PlotOptions opts;
+  opts.title = "bw";
+  opts.x_label = "threads";
+  ascii_plot(os, {s1, s2}, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("bw"), std::string::npos);
+  EXPECT_NE(out.find("a = dram"), std::string::npos);
+  EXPECT_NE(out.find("b = mcdram"), std::string::npos);
+  EXPECT_NE(out.find("threads"), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyInputHandled) {
+  std::ostringstream os;
+  ascii_plot(os, {});
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScales) {
+  std::ostringstream os;
+  PlotSeries s{"x", {1, 10, 100, 1000}, {1, 2, 3, 4}};
+  PlotOptions opts;
+  opts.log_x = true;
+  ascii_plot(os, {s}, opts);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiPlot, LogOfNonPositiveThrows) {
+  std::ostringstream os;
+  PlotSeries s{"x", {0, 1}, {1, 2}};
+  PlotOptions opts;
+  opts.log_x = true;
+  EXPECT_THROW(ascii_plot(os, {s}, opts), CheckError);
+}
+
+TEST(AsciiPlot, SinglePointDoesNotDivideByZero) {
+  std::ostringstream os;
+  PlotSeries s{"p", {5}, {7}};
+  ascii_plot(os, {s});
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiPlot, MismatchedSeriesThrows) {
+  std::ostringstream os;
+  PlotSeries s{"bad", {1, 2}, {1}};
+  EXPECT_THROW(ascii_plot(os, {s}), CheckError);
+}
+
+TEST(AsciiPlot, TinyDimensionsRejected) {
+  std::ostringstream os;
+  PlotSeries s{"p", {1, 2}, {1, 2}};
+  PlotOptions opts;
+  opts.width = 5;
+  EXPECT_THROW(ascii_plot(os, {s}, opts), CheckError);
+}
+
+}  // namespace
+}  // namespace capmem

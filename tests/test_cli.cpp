@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+
+namespace capmem {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, EqualsAndSpaceForms) {
+  Cli c = make({"--mode=SNC4", "--iters", "100"});
+  EXPECT_EQ(c.get_string("mode", "QUAD"), "SNC4");
+  EXPECT_EQ(c.get_int("iters", 1), 100);
+  c.finish();
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  Cli c = make({});
+  EXPECT_EQ(c.get_string("mode", "QUAD"), "QUAD");
+  EXPECT_EQ(c.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(c.get_flag("fast"));
+  c.finish();
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  Cli c = make({"--fast"});
+  EXPECT_TRUE(c.get_flag("fast"));
+  c.finish();
+}
+
+TEST(Cli, FlagFalseForms) {
+  Cli c = make({"--fast=false", "--slow=0"});
+  EXPECT_FALSE(c.get_flag("fast", true));
+  EXPECT_FALSE(c.get_flag("slow", true));
+  c.finish();
+}
+
+TEST(Cli, UnknownOptionThrowsOnFinish) {
+  Cli c = make({"--bogus=1"});
+  c.get_int("real", 0);
+  EXPECT_THROW(c.finish(), CheckError);
+}
+
+TEST(Cli, NonDashArgumentRejected) {
+  EXPECT_THROW(make({"positional"}), CheckError);
+}
+
+TEST(Cli, DoubleParsing) {
+  Cli c = make({"--x=3.25"});
+  EXPECT_DOUBLE_EQ(c.get_double("x", 0), 3.25);
+  c.finish();
+}
+
+}  // namespace
+}  // namespace capmem

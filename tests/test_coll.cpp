@@ -1,0 +1,277 @@
+// Collective correctness and performance-shape tests: every algorithm
+// delivers/accumulates/separates correctly across schedules, modes and
+// thread counts, and the tuned variants beat the baselines at scale.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coll/harness.hpp"
+#include "coll/runtime.hpp"
+#include "coll/tuned.hpp"
+#include "model/fit.hpp"
+#include "sim/machine.hpp"
+
+namespace capmem::coll {
+namespace {
+
+using model::CapabilityModel;
+using sim::ClusterMode;
+using sim::knl7210;
+using sim::MachineConfig;
+using sim::MemoryMode;
+using sim::Schedule;
+
+const CapabilityModel& fitted() {
+  static const CapabilityModel m = [] {
+    bench::SuiteOptions o;
+    o.run.iters = 15;
+    o.remote_samples = 2;
+    o.contention_ns = {1, 2, 4, 8};
+    return model::fit_cache_model(knl7210(), o);
+  }();
+  return m;
+}
+
+TEST(Runtime, CellSetLayoutDisjointLines) {
+  sim::Machine m(knl7210());
+  CellSet cells(m, "t", 4, 3, {});
+  for (int r = 0; r < 4; ++r) {
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(cells.flag(r, s) % kLineBytes, 0u);
+      EXPECT_EQ(cells.payload(r, s), cells.flag(r, s) + 8);
+      for (int r2 = 0; r2 < 4; ++r2) {
+        for (int s2 = 0; s2 < 3; ++s2) {
+          if (r != r2 || s != s2) {
+            EXPECT_NE(sim::line_of(cells.flag(r, s)),
+                      sim::line_of(cells.flag(r2, s2)));
+          }
+        }
+      }
+    }
+  }
+  EXPECT_THROW(cells.flag(4, 0), CheckError);
+}
+
+TEST(Runtime, TileGroupsPartitionRanks) {
+  sim::Machine machine(knl7210());
+  World w;
+  w.machine = &machine;
+  w.slots = sim::make_schedule(knl7210(), Schedule::kFillTiles, 16);
+  const TileGroups g = group_by_tile(w);
+  EXPECT_EQ(g.leaders.size(), 8u);  // 16 threads fill 8 tiles (2 cores each)
+  int total = static_cast<int>(g.leaders.size());
+  for (const auto& mem : g.members) total += static_cast<int>(mem.size());
+  EXPECT_EQ(total, 16);
+  EXPECT_TRUE(g.is_leader(0));
+  for (std::size_t i = 0; i < g.leaders.size(); ++i) {
+    for (int r : g.members[i]) {
+      EXPECT_EQ(g.group_of_rank(r),
+                g.group_of_rank(g.leaders[i]));
+    }
+  }
+}
+
+TEST(TreePlan, FlattenPreservesStructure) {
+  model::TreeNode root;
+  root.size = 4;
+  root.children.resize(2);
+  root.children[0].children.resize(1);
+  const TreePlan plan = flatten_tree(root);
+  ASSERT_EQ(plan.parent.size(), 4u);
+  EXPECT_EQ(plan.parent[0], -1);
+  EXPECT_EQ(plan.parent[1], 0);
+  EXPECT_EQ(plan.parent[2], 1);
+  EXPECT_EQ(plan.parent[3], 0);
+  EXPECT_EQ(plan.children[0], (std::vector<int>{1, 3}));
+}
+
+struct CollCase {
+  Algo algo;
+  int threads;
+  Schedule sched;
+};
+
+class AllCollectives : public ::testing::TestWithParam<CollCase> {};
+
+TEST_P(AllCollectives, CorrectAtAllScales) {
+  const CollCase c = GetParam();
+  HarnessOptions ho;
+  ho.iters = 11;
+  ho.sched = c.sched;
+  const CollResult r =
+      run_collective(knl7210(), c.algo, c.threads, &fitted(), ho);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.per_iter_max.median, 0.0);
+}
+
+std::vector<CollCase> all_cases() {
+  std::vector<CollCase> cases;
+  for (Algo a : {Algo::kTunedBarrier, Algo::kTunedBroadcast,
+                 Algo::kTunedReduce, Algo::kOmpBarrier, Algo::kOmpBroadcast,
+                 Algo::kOmpReduce, Algo::kMpiBarrier, Algo::kMpiBroadcast,
+                 Algo::kMpiReduce, Algo::kTunedAllreduce,
+                 Algo::kOmpAllreduce, Algo::kMpiAllreduce}) {
+    for (int n : {2, 3, 17, 64}) {
+      cases.push_back({a, n, Schedule::kScatter});
+    }
+    cases.push_back({a, 32, Schedule::kFillTiles});
+    cases.push_back({a, 128, Schedule::kFillCores});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllCollectives, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<CollCase>& info) {
+      std::string name = std::string(to_string(info.param.algo)) + "_" +
+                         std::to_string(info.param.threads) + "_" +
+                         sim::to_string(info.param.sched);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Collectives, CorrectInCacheMode) {
+  MachineConfig cfg = knl7210(ClusterMode::kQuadrant, MemoryMode::kCache);
+  cfg.scale_memory(256);
+  HarnessOptions ho;
+  ho.iters = 7;
+  ho.cell_kind = sim::MemKind::kDDR;
+  for (Algo a :
+       {Algo::kTunedBroadcast, Algo::kTunedReduce, Algo::kTunedBarrier}) {
+    const CollResult r = run_collective(cfg, a, 32, &fitted(), ho);
+    EXPECT_EQ(r.errors, 0u) << to_string(a);
+  }
+}
+
+TEST(Collectives, TunedBeatsBaselinesAtScale) {
+  HarnessOptions ho;
+  ho.iters = 31;
+  const MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
+  struct Triple {
+    Algo tuned, omp, mpi;
+  };
+  for (const Triple t :
+       {Triple{Algo::kTunedBarrier, Algo::kOmpBarrier, Algo::kMpiBarrier},
+        Triple{Algo::kTunedBroadcast, Algo::kOmpBroadcast,
+               Algo::kMpiBroadcast},
+        Triple{Algo::kTunedReduce, Algo::kOmpReduce, Algo::kMpiReduce}}) {
+    const double tu =
+        run_collective(cfg, t.tuned, 64, &fitted(), ho).per_iter_max.median;
+    const double om =
+        run_collective(cfg, t.omp, 64, &fitted(), ho).per_iter_max.median;
+    const double mp =
+        run_collective(cfg, t.mpi, 64, &fitted(), ho).per_iter_max.median;
+    EXPECT_GT(om / tu, 1.3) << to_string(t.tuned);
+    EXPECT_GT(mp / tu, 2.5) << to_string(t.tuned);
+  }
+}
+
+TEST(Collectives, BandRoughlyContainsMeasurement) {
+  // The paper notes its model "overestimates ... at 32 or 64 threads but
+  // captures the trends" — require the measured median within a factor of
+  // the band rather than strict containment.
+  HarnessOptions ho;
+  ho.iters = 31;
+  for (Algo a :
+       {Algo::kTunedBarrier, Algo::kTunedBroadcast, Algo::kTunedReduce}) {
+    const CollResult r = run_collective(knl7210(), a, 64, &fitted(), ho);
+    ASSERT_TRUE(r.has_band);
+    EXPECT_GT(r.per_iter_max.median, r.band.best_ns * 0.5) << to_string(a);
+    EXPECT_LT(r.per_iter_max.median, r.band.worst_ns * 2.0) << to_string(a);
+  }
+}
+
+TEST(Collectives, BarrierSeparationProperty) {
+  // No rank may leave the barrier before every rank arrived: verify with
+  // randomized skews before the barrier.
+  const MachineConfig cfg = knl7210();
+  sim::Machine machine(cfg);
+  World w;
+  w.machine = &machine;
+  const int n = 24;
+  w.slots = sim::make_schedule(cfg, Schedule::kScatter, n);
+  w.place = {};
+  const auto d =
+      model::optimize_dissemination(fitted(), n, sim::MemKind::kDDR);
+  const int rounds = std::max(1, d.rounds);
+  const int fanout = d.m;
+  CellSet flags(machine, "sep_flags", n, rounds * fanout, w.place);
+  std::vector<double> arrive(n), leave(n);
+  Rng rng(3);
+  std::vector<double> delay(n);
+  for (auto& x : delay) x = rng.uniform(0.0, 3000.0);
+  for (int r = 0; r < n; ++r) {
+    machine.add_thread(
+        w.slots[static_cast<std::size_t>(r)],
+        [&, r](sim::Ctx& ctx) -> sim::Task {
+          co_await ctx.compute(delay[static_cast<std::size_t>(r)]);
+          arrive[static_cast<std::size_t>(r)] = ctx.now();
+          long long stride = 1;
+          for (int j = 0; j < rounds; ++j) {
+            for (int c = 1; c <= fanout; ++c) {
+              const int peer = static_cast<int>((r + c * stride) % n);
+              co_await ctx.write_u64(flags.flag(peer, j * fanout + c - 1),
+                                     1);
+            }
+            for (int c = 1; c <= fanout; ++c) {
+              co_await ctx.wait_eq(flags.flag(r, j * fanout + c - 1), 1);
+            }
+            stride *= (fanout + 1);
+          }
+          leave[static_cast<std::size_t>(r)] = ctx.now();
+        });
+  }
+  machine.run();
+  const double max_arrive = *std::max_element(arrive.begin(), arrive.end());
+  const double min_leave = *std::min_element(leave.begin(), leave.end());
+  EXPECT_GE(min_leave, max_arrive);
+}
+
+TEST(Collectives, AllreduceBandComposesReduceAndBroadcast) {
+  const model::ThreadLayout lay = model::layout_for(64, 32, 8, true);
+  const auto r = model::reduce_band(fitted(), lay, sim::MemKind::kMCDRAM);
+  const auto b =
+      model::broadcast_band(fitted(), lay, sim::MemKind::kMCDRAM);
+  const auto ar =
+      model::allreduce_band(fitted(), lay, sim::MemKind::kMCDRAM);
+  EXPECT_DOUBLE_EQ(ar.best_ns, r.best_ns + b.best_ns);
+  EXPECT_DOUBLE_EQ(ar.worst_ns, r.worst_ns + b.worst_ns);
+}
+
+TEST(Collectives, AlgoNamesAreUniqueAndTaggedTuned) {
+  std::set<std::string> names;
+  for (Algo a : {Algo::kTunedBarrier, Algo::kTunedBroadcast,
+                 Algo::kTunedReduce, Algo::kOmpBarrier, Algo::kOmpBroadcast,
+                 Algo::kOmpReduce, Algo::kMpiBarrier, Algo::kMpiBroadcast,
+                 Algo::kMpiReduce, Algo::kTunedAllreduce,
+                 Algo::kOmpAllreduce, Algo::kMpiAllreduce}) {
+    EXPECT_TRUE(names.insert(to_string(a)).second) << to_string(a);
+    EXPECT_EQ(is_tuned(a),
+              std::string(to_string(a)).rfind("tuned-", 0) == 0);
+  }
+}
+
+TEST(Harness, RecorderPerIterMax) {
+  Recorder rec(2, 3);
+  rec.record(0, 0, 10);
+  rec.record(1, 0, 20);
+  rec.record(0, 1, 5);
+  rec.record(1, 1, 3);
+  rec.record(0, 2, 7);
+  rec.record(1, 2, 7);
+  EXPECT_EQ(rec.iter_max_series(), (std::vector<double>{20, 5, 7}));
+  EXPECT_DOUBLE_EQ(rec.per_iter_max().median, 7.0);
+}
+
+TEST(Harness, TunedWithoutModelRejected) {
+  HarnessOptions ho;
+  ho.iters = 3;
+  EXPECT_THROW(
+      run_collective(knl7210(), Algo::kTunedBarrier, 8, nullptr, ho),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace capmem::coll

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/config.hpp"
+
+namespace capmem::sim {
+namespace {
+
+TEST(Config, Knl7210Preset) {
+  const MachineConfig cfg = knl7210();
+  EXPECT_EQ(cfg.cores(), 64);
+  EXPECT_EQ(cfg.hw_threads(), 256);
+  EXPECT_EQ(cfg.active_tiles, 32);
+  EXPECT_EQ(cfg.dram_channels(), 6);
+  EXPECT_EQ(cfg.mcdram_controllers, 8);
+  EXPECT_EQ(cfg.mcdram_bytes, GiB(16));
+  EXPECT_EQ(cfg.dram_bytes, GiB(96));
+}
+
+TEST(Config, TinyMachinePreset) {
+  const MachineConfig cfg = tiny_machine();
+  EXPECT_EQ(cfg.cores(), 16);
+  cfg.validate();
+}
+
+TEST(Config, ClusterDomains) {
+  EXPECT_EQ(knl7210(ClusterMode::kSNC4).cluster_domains(), 4);
+  EXPECT_EQ(knl7210(ClusterMode::kSNC2).cluster_domains(), 2);
+  EXPECT_EQ(knl7210(ClusterMode::kQuadrant).cluster_domains(), 1);
+  EXPECT_EQ(knl7210(ClusterMode::kA2A).cluster_domains(), 1);
+}
+
+TEST(Config, ScaleMemory) {
+  MachineConfig cfg = knl7210();
+  cfg.scale_memory(256);
+  EXPECT_EQ(cfg.mcdram_bytes, MiB(64));
+  EXPECT_EQ(cfg.dram_bytes, MiB(384));
+  EXPECT_THROW(cfg.scale_memory(0), CheckError);
+  MachineConfig tiny = knl7210();
+  EXPECT_THROW(tiny.scale_memory(1ull << 40), CheckError);
+}
+
+TEST(Config, ValidationCatchesBadGeometry) {
+  MachineConfig cfg = knl7210();
+  cfg.active_tiles = 40;  // > physical
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg = knl7210();
+  cfg.active_tiles = 33;  // core-count/quadrant balance
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg = knl7210();
+  cfg.threads_per_core = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg = knl7210();
+  cfg.l1_bytes = 1000;  // not a multiple of ways*64
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(Config, CoreMaskLimitEnforced) {
+  MachineConfig cfg = knl7210();
+  cfg.physical_tiles = 38;
+  cfg.active_tiles = 36;  // 72 cores: exceeds the 64-bit core bitmap
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(Config, ModeStringsRoundTrip) {
+  for (ClusterMode m : all_cluster_modes()) {
+    EXPECT_EQ(cluster_mode_from_string(to_string(m)), m);
+  }
+  for (MemoryMode m :
+       {MemoryMode::kFlat, MemoryMode::kCache, MemoryMode::kHybrid}) {
+    EXPECT_EQ(memory_mode_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(cluster_mode_from_string("bogus"), CheckError);
+  EXPECT_THROW(memory_mode_from_string("bogus"), CheckError);
+}
+
+TEST(Config, TableOrderMatchesPaper) {
+  const auto modes = all_cluster_modes();
+  ASSERT_EQ(modes.size(), 5u);
+  EXPECT_EQ(modes[0], ClusterMode::kSNC4);
+  EXPECT_EQ(modes[1], ClusterMode::kSNC2);
+  EXPECT_EQ(modes[2], ClusterMode::kQuadrant);
+  EXPECT_EQ(modes[3], ClusterMode::kHemisphere);
+  EXPECT_EQ(modes[4], ClusterMode::kA2A);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(KiB(2), 2048u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(GiB(1), 1073741824u);
+  EXPECT_DOUBLE_EQ(bandwidth_gbps(64, 8.0), 8.0);
+  EXPECT_DOUBLE_EQ(bandwidth_gbps(64, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace capmem::sim

@@ -1,0 +1,110 @@
+// Efficiency-assessment tests, including the end-to-end use on a real sort
+// run (the paper's second use case, quantified).
+#include <gtest/gtest.h>
+
+#include "model/efficiency.hpp"
+#include "model/fit.hpp"
+#include "sort/parallel_sort.hpp"
+
+namespace capmem::model {
+namespace {
+
+using sim::knl7210;
+using sim::MemKind;
+using sim::ThreadCounters;
+
+CapabilityModel bw_model() {
+  CapabilityModel m;
+  m.bw_dram = {4.0, 38.0};
+  m.bw_mcdram = {3.7, 170.0};
+  m.lat_dram = 140;
+  m.lat_mcdram = 167;
+  m.has_mcdram = true;
+  return m;
+}
+
+TEST(Efficiency, TrafficBreakdownAndVerdict) {
+  ThreadCounters c;
+  c.l1_hits = 700;
+  c.l2_tile_hits = 100;
+  c.dram_lines = 200;
+  c.line_ops = 1000;
+  // 200 lines = 12.8 KB over 1000 ns = 12.8 GB/s vs achievable 16 (4x4).
+  const EfficiencyReport r =
+      assess(bw_model(), {c}, 1000.0, 4, MemKind::kDDR);
+  EXPECT_EQ(r.total_ops, 1000u);
+  EXPECT_DOUBLE_EQ(r.cache_hit_fraction, 0.8);
+  EXPECT_NEAR(r.memory_gbps, 12.8, 0.01);
+  EXPECT_NEAR(r.memory_efficiency, 0.8, 0.01);
+  EXPECT_NEAR(r.memory_bound_ns, 800.0, 0.5);
+  EXPECT_NEAR(r.overhead_fraction, 0.2, 0.01);
+  EXPECT_FALSE(r.memory_bound());
+  // 80% cache hits: the verdict calls the run cache-resident rather than
+  // overhead-dominated.
+  EXPECT_NE(r.verdict.find("cache-resident"), std::string::npos);
+}
+
+TEST(Efficiency, OverheadDominatedVerdict) {
+  ThreadCounters c;
+  c.dram_lines = 100;
+  c.line_ops = 150;  // low cache-hit fraction
+  const EfficiencyReport r =
+      assess(bw_model(), {c}, 100000.0, 4, MemKind::kDDR);
+  EXPECT_FALSE(r.memory_bound());
+  EXPECT_NE(r.verdict.find("NOT memory-bound"), std::string::npos);
+}
+
+TEST(Efficiency, FullyMemoryBound) {
+  ThreadCounters c;
+  c.dram_lines = 1000;
+  c.line_ops = 1000;
+  const double bytes = 1000.0 * 64;
+  const double achievable = bw_model().bw_dram.at_threads(4);
+  const EfficiencyReport r = assess(bw_model(), {c}, bytes / achievable, 4,
+                                    MemKind::kDDR);
+  EXPECT_NEAR(r.overhead_fraction, 0.0, 1e-9);
+  EXPECT_TRUE(r.memory_bound());
+}
+
+TEST(Efficiency, AggregatesAcrossThreads) {
+  ThreadCounters a, b;
+  a.l1_hits = 10;
+  a.line_ops = 10;
+  b.mcdram_lines = 5;
+  b.line_ops = 5;
+  const EfficiencyReport r =
+      assess(bw_model(), {a, b}, 100.0, 2, MemKind::kMCDRAM);
+  EXPECT_EQ(r.total_ops, 15u);
+  EXPECT_EQ(r.mcdram_lines, 5u);
+}
+
+TEST(Efficiency, EmptyCountersHandled) {
+  const EfficiencyReport r = assess(bw_model(), {}, 10.0, 1, MemKind::kDDR);
+  EXPECT_EQ(r.total_ops, 0u);
+  EXPECT_NE(r.verdict.find("no memory operations"), std::string::npos);
+}
+
+TEST(Efficiency, RejectsBadInputs) {
+  EXPECT_THROW(assess(bw_model(), {}, 0.0, 1, MemKind::kDDR), CheckError);
+  EXPECT_THROW(assess(bw_model(), {}, 10.0, 0, MemKind::kDDR), CheckError);
+}
+
+TEST(Efficiency, SortRunEndToEnd) {
+  // Large sort at few threads should assess as (close to) memory-bound;
+  // a tiny sort at many threads as overhead-dominated.
+  CapabilityModel m = bw_model();
+  sort::SortOptions o;
+  o.kind = MemKind::kDDR;
+  const sort::SortRun big = sort::parallel_merge_sort(knl7210(), MiB(2), 4, o);
+  const EfficiencyReport rb =
+      assess(m, big.counters, big.total_ns, 4, MemKind::kDDR);
+  const sort::SortRun tiny =
+      sort::parallel_merge_sort(knl7210(), KiB(1), 64, o);
+  const EfficiencyReport rt =
+      assess(m, tiny.counters, tiny.total_ns, 64, MemKind::kDDR);
+  EXPECT_LT(rb.overhead_fraction, rt.overhead_fraction);
+  EXPECT_GT(rt.overhead_fraction, 0.5);  // 1 KB with 64 threads: overhead
+}
+
+}  // namespace
+}  // namespace capmem::model

@@ -1,0 +1,229 @@
+// Engine semantics: virtual-time ordering, barriers, parking/waking,
+// determinism, deadlock detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace capmem::sim {
+namespace {
+
+TEST(Engine, RunsSingleTaskToCompletion) {
+  Engine e(1);
+  bool done = false;
+  auto prog = [&]() -> Task {
+    co_await Advance{10.0};
+    co_await Advance{5.0};
+    done = true;
+  };
+  e.spawn(prog());
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(e.now(), 15.0);
+  EXPECT_EQ(e.live_tasks(), 0);
+}
+
+TEST(Engine, InterleavesTasksInVirtualTimeOrder) {
+  Engine e(1);
+  std::vector<int> order;
+  auto prog = [&](int id, Nanos step) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await Advance{step};
+      order.push_back(id);
+    }
+  };
+  e.spawn(prog(0, 10.0));  // acts at t=10,20,30
+  e.spawn(prog(1, 4.0));   // acts at t=4,8,12
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 1, 0, 1, 0, 0}));
+}
+
+TEST(Engine, AdvanceToTakesMax) {
+  Engine e(1);
+  Nanos observed = -1;
+  auto prog = [&]() -> Task {
+    co_await Advance{50.0};
+    co_await AdvanceTo{20.0};  // in the past: no-op
+    co_await AdvanceTo{80.0};
+  };
+  e.spawn(prog());
+  e.run();
+  observed = e.now();
+  EXPECT_DOUBLE_EQ(observed, 80.0);
+}
+
+TEST(Engine, SyncAlignsClocksToMax) {
+  Engine e(1);
+  std::vector<Nanos> after(2, 0);
+  Engine* ep = &e;
+  auto prog = [&, ep](int id, Nanos work) -> Task {
+    co_await Advance{work};
+    co_await SyncPoint{};
+    after[static_cast<std::size_t>(id)] =
+        ep->task_handle(id).promise().clock;
+  };
+  e.spawn(prog(0, 100.0));
+  e.spawn(prog(1, 7.0));
+  e.run();
+  EXPECT_DOUBLE_EQ(after[0], 100.0);
+  EXPECT_DOUBLE_EQ(after[1], 100.0);
+}
+
+TEST(Engine, SyncReleasedWhenOtherTaskFinishes) {
+  // One task syncs, the other finishes without syncing: the barrier must
+  // release once only live tasks remain.
+  Engine e(1);
+  bool released = false;
+  auto syncer = [&]() -> Task {
+    co_await SyncPoint{};
+    released = true;
+  };
+  auto worker = [&]() -> Task { co_await Advance{5.0}; };
+  e.spawn(syncer());
+  e.spawn(worker());
+  e.run();
+  EXPECT_TRUE(released);
+}
+
+TEST(Engine, ParkAndNotifyWakesWithVisibleTime) {
+  Engine e(1);
+  Nanos woke_at = -1;
+  auto waiter = [&]() -> Task {
+    struct ParkOnce {
+      Engine* e;
+      Nanos* woke_at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Task::Handle h) const {
+        Nanos* w = woke_at;
+        e->park(42, h, [h, w](Nanos visible) {
+          h.promise().clock = std::max(h.promise().clock, visible);
+          *w = h.promise().clock;
+          return true;
+        });
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await ParkOnce{&e, &woke_at};
+  };
+  auto writer = [&]() -> Task {
+    co_await Advance{33.0};
+    e.notify(42, 33.0);
+  };
+  e.spawn(waiter());
+  e.spawn(writer());
+  e.run();
+  EXPECT_DOUBLE_EQ(woke_at, 33.0);
+}
+
+TEST(Engine, NotifyKeepsUnsatisfiedWaitersParked) {
+  Engine e(1);
+  int wakes = 0;
+  auto waiter = [&]() -> Task {
+    struct ParkTwice {
+      Engine* e;
+      int* wakes;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Task::Handle h) const {
+        int* w = wakes;
+        e->park(7, h, [h, w](Nanos visible) {
+          ++*w;
+          if (*w < 2) return false;  // stay parked on first notify
+          h.promise().clock = std::max(h.promise().clock, visible);
+          return true;
+        });
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await ParkTwice{&e, &wakes};
+  };
+  auto writer = [&]() -> Task {
+    co_await Advance{5.0};
+    e.notify(7, 5.0);
+    co_await Advance{5.0};
+    e.notify(7, 10.0);
+  };
+  e.spawn(waiter());
+  e.spawn(writer());
+  e.run();
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(Engine, DeadlockIsReportedNotHung) {
+  Engine e(1);
+  auto waiter = [&]() -> Task {
+    struct ParkForever {
+      Engine* e;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Task::Handle h) const {
+        e->park(99, h, [](Nanos) { return false; });
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await ParkForever{&e};
+  };
+  e.spawn(waiter());
+  EXPECT_THROW(e.run(), CheckError);
+}
+
+TEST(Engine, BarrierMismatchIsDeadlock) {
+  Engine e(1);
+  auto a = [&]() -> Task { co_await SyncPoint{}; };
+  auto b = [&]() -> Task {
+    struct ParkForever {
+      Engine* e;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Task::Handle h) const {
+        e->park(1, h, [](Nanos) { return false; });
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await ParkForever{&e};
+  };
+  e.spawn(a());
+  e.spawn(b());
+  EXPECT_THROW(e.run(), CheckError);
+}
+
+TEST(Engine, TaskExceptionPropagates) {
+  Engine e(1);
+  auto prog = [&]() -> Task {
+    co_await Advance{1.0};
+    throw std::runtime_error("boom");
+  };
+  e.spawn(prog());
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, CallbacksInterleaveWithTasks) {
+  Engine e(1);
+  std::vector<int> order;
+  e.schedule(5.0, [&] { order.push_back(100); });
+  e.schedule(15.0, [&] { order.push_back(200); });
+  auto prog = [&]() -> Task {
+    co_await Advance{10.0};
+    order.push_back(1);
+    co_await Advance{10.0};
+    order.push_back(2);
+  };
+  e.spawn(prog());
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{100, 1, 200, 2}));
+}
+
+TEST(Engine, DeterministicStepCount) {
+  auto run_once = [] {
+    Engine e(123);
+    auto prog = [](int n) -> Task {
+      for (int i = 0; i < n; ++i) co_await Advance{1.5};
+    };
+    e.spawn(prog(10));
+    e.spawn(prog(20));
+    e.run();
+    return e.steps();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace capmem::sim

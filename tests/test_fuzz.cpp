@@ -1,0 +1,167 @@
+// Randomized stress tests of the coherent machine: many threads execute
+// random operation mixes over shared and private lines, and we check
+//   * per-line single-writer monotonicity (reads never go backwards),
+//   * final memory values equal each writer's last write,
+//   * MESIF invariants over the whole directory after the run,
+//   * determinism of the entire interleaving.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace capmem::sim {
+namespace {
+
+struct FuzzConfig {
+  int threads = 12;
+  int shared_lines = 16;
+  int ops_per_thread = 400;
+  std::uint64_t seed = 1;
+  ClusterMode cluster = ClusterMode::kQuadrant;
+  MemoryMode memory = MemoryMode::kFlat;
+};
+
+struct FuzzOutcome {
+  bool monotonic = true;
+  bool finals_ok = true;
+  Nanos elapsed = 0;
+  std::uint64_t dir_lines = 0;
+};
+
+FuzzOutcome run_fuzz(const FuzzConfig& fc) {
+  MachineConfig cfg = knl7210(fc.cluster, fc.memory);
+  if (fc.memory != MemoryMode::kFlat) cfg.scale_memory(256);
+  cfg.seed = fc.seed;
+  Machine m(cfg);
+
+  // Line i is written only by thread i % threads; everyone reads anything.
+  const Addr shared = m.alloc(
+      "shared", static_cast<std::uint64_t>(fc.shared_lines) * kLineBytes, {},
+      true);
+  auto line_addr = [&](int i) {
+    return shared + static_cast<std::uint64_t>(i) * kLineBytes;
+  };
+  std::vector<std::uint64_t> write_count(
+      static_cast<std::size_t>(fc.shared_lines), 0);
+
+  FuzzOutcome out;
+  const auto slots = make_schedule(cfg, Schedule::kScatter, fc.threads);
+  for (int t = 0; t < fc.threads; ++t) {
+    m.add_thread(slots[static_cast<std::size_t>(t)],
+                 [&, t](Ctx& ctx) -> Task {
+      Rng rng(fc.seed * 1000003 + static_cast<std::uint64_t>(t));
+      std::vector<std::uint64_t> last_seen(
+          static_cast<std::size_t>(fc.shared_lines), 0);
+      std::vector<std::uint64_t> my_counter(
+          static_cast<std::size_t>(fc.shared_lines), 0);
+      const Addr priv = ctx.machine().alloc(
+          "priv" + std::to_string(t), KiB(4), {}, false);
+      for (int op = 0; op < fc.ops_per_thread; ++op) {
+        const int line = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(fc.shared_lines)));
+        switch (rng.next_below(4)) {
+          case 0: {  // read a shared line: single-writer monotonicity
+            const std::uint64_t v = co_await ctx.read_u64(line_addr(line));
+            if (v < last_seen[static_cast<std::size_t>(line)]) {
+              out.monotonic = false;
+            }
+            last_seen[static_cast<std::size_t>(line)] = v;
+            break;
+          }
+          case 1: {  // write my own lines (single-writer discipline)
+            if (line % fc.threads == t) {
+              const std::uint64_t v =
+                  ++my_counter[static_cast<std::size_t>(line)];
+              co_await ctx.write_u64(line_addr(line), v);
+              write_count[static_cast<std::size_t>(line)] = v;
+            } else {
+              co_await ctx.touch(line_addr(line), AccessType::kRead);
+            }
+            break;
+          }
+          case 2: {  // private streaming traffic (cache churn)
+            co_await ctx.read_buf(priv, KiB(4));
+            break;
+          }
+          default: {  // compute gap
+            co_await ctx.compute(rng.uniform(1.0, 50.0));
+          }
+        }
+      }
+    });
+  }
+  m.run();
+  m.memsys().directory().check_all();
+  out.elapsed = m.elapsed();
+  out.dir_lines = m.memsys().directory().tracked_lines();
+
+  // Final values: the last write of each line's owner must be in memory.
+  for (int i = 0; i < fc.shared_lines; ++i) {
+    if (m.space().load<std::uint64_t>(line_addr(i)) !=
+        write_count[static_cast<std::size_t>(i)]) {
+      out.finals_ok = false;
+    }
+  }
+  return out;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, SingleWriterMonotonicityAndInvariants) {
+  FuzzConfig fc;
+  fc.seed = static_cast<std::uint64_t>(GetParam());
+  const FuzzOutcome out = run_fuzz(fc);
+  EXPECT_TRUE(out.monotonic);
+  EXPECT_TRUE(out.finals_ok);
+  EXPECT_GT(out.elapsed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(1, 9));
+
+TEST(Fuzz, AllClusterModes) {
+  for (ClusterMode cm : all_cluster_modes()) {
+    FuzzConfig fc;
+    fc.cluster = cm;
+    fc.threads = 8;
+    fc.ops_per_thread = 200;
+    const FuzzOutcome out = run_fuzz(fc);
+    EXPECT_TRUE(out.monotonic) << to_string(cm);
+    EXPECT_TRUE(out.finals_ok) << to_string(cm);
+  }
+}
+
+TEST(Fuzz, CacheAndHybridModes) {
+  for (MemoryMode mm : {MemoryMode::kCache, MemoryMode::kHybrid}) {
+    FuzzConfig fc;
+    fc.memory = mm;
+    fc.threads = 8;
+    fc.ops_per_thread = 200;
+    const FuzzOutcome out = run_fuzz(fc);
+    EXPECT_TRUE(out.monotonic) << to_string(mm);
+    EXPECT_TRUE(out.finals_ok) << to_string(mm);
+  }
+}
+
+TEST(Fuzz, DeterministicInterleaving) {
+  FuzzConfig fc;
+  fc.seed = 77;
+  const FuzzOutcome a = run_fuzz(fc);
+  const FuzzOutcome b = run_fuzz(fc);
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.dir_lines, b.dir_lines);
+}
+
+TEST(Fuzz, ManyThreadsHeavyContention) {
+  FuzzConfig fc;
+  fc.threads = 32;
+  fc.shared_lines = 4;  // heavy sharing
+  fc.ops_per_thread = 300;
+  const FuzzOutcome out = run_fuzz(fc);
+  EXPECT_TRUE(out.monotonic);
+  EXPECT_TRUE(out.finals_ok);
+}
+
+}  // namespace
+}  // namespace capmem::sim

@@ -1,0 +1,105 @@
+// Hybrid memory mode (paper §II.C: part cache, part flat): explicit MCDRAM
+// allocations coexist with a reduced memory-side cache fronting the DDR
+// range.
+#include <gtest/gtest.h>
+
+#include "bench/pointer_chase.hpp"
+#include "model/fit.hpp"
+#include "sim/machine.hpp"
+
+namespace capmem::sim {
+namespace {
+
+MachineConfig hybrid_cfg(double cache_fraction = 0.5) {
+  MachineConfig cfg = knl7210(ClusterMode::kQuadrant, MemoryMode::kHybrid);
+  cfg.hybrid_cache_fraction = cache_fraction;
+  cfg.scale_memory(256);
+  cfg.noise.enabled = false;
+  return cfg;
+}
+
+TEST(Hybrid, McdramAllocationsAllowed) {
+  Machine m(hybrid_cfg());
+  const Addr a = m.alloc("flat_part", kLineBytes,
+                         {MemKind::kMCDRAM, std::nullopt}, true);
+  double cost = 0;
+  m.add_thread({0, 0}, [&](Ctx& ctx) -> Task {
+    const Nanos t0 = ctx.now();
+    co_await ctx.read_u64(a);
+    cost = ctx.now() - t0;
+  });
+  m.run();
+  EXPECT_NEAR(cost, 166, 20);  // straight MCDRAM access
+}
+
+TEST(Hybrid, DdrAccessesGoThroughTheCachePart) {
+  Machine m(hybrid_cfg());
+  const Addr a = m.alloc("ddr", kLineBytes, {}, true);
+  std::vector<Level> levels;
+  m.add_thread({0, 0}, [&](Ctx& ctx) -> Task {
+    auto r1 = co_await ctx.touch(a, AccessType::kRead);
+    ctx.machine().flush_buffer(a, kLineBytes, /*drop_mcdram_cache=*/false);
+    auto r2 = co_await ctx.touch(a, AccessType::kRead);
+    levels.push_back(r1.level);
+    levels.push_back(r2.level);
+  });
+  m.run();
+  EXPECT_EQ(levels[0], Level::kMcdramCacheMiss);
+  EXPECT_EQ(levels[1], Level::kMcdramCacheHit);
+}
+
+TEST(Hybrid, CacheCapacityScalesWithFraction) {
+  // Direct-mapped sets = fraction * mcdram_bytes / 64: a quarter-cache
+  // machine conflicts 2x as often as a half-cache one on a strided probe.
+  auto conflict_misses = [](double fraction) {
+    Machine m(hybrid_cfg(fraction));
+    const std::uint64_t sets = static_cast<std::uint64_t>(
+        static_cast<double>(m.config().mcdram_bytes) * fraction /
+        kLineBytes);
+    const Addr a = m.alloc("probe", 4 * (sets + 1) * kLineBytes, {}, false);
+    std::uint64_t misses = 0;
+    m.add_thread({0, 0}, [&, sets](Ctx& ctx) -> Task {
+      // Two lines mapping to the same set in the smaller cache.
+      for (int i = 0; i < 10; ++i) {
+        for (std::uint64_t off : {std::uint64_t{0}, sets * kLineBytes}) {
+          ctx.machine().flush_buffer(a + off, kLineBytes, false);
+          const auto r = co_await ctx.touch(a + off, AccessType::kRead);
+          if (r.level == Level::kMcdramCacheMiss) ++misses;
+        }
+      }
+    });
+    m.run();
+    return misses;
+  };
+  // At fraction f the stride `sets(f)` aliases; the same stride does not
+  // alias in a cache twice the size.
+  const std::uint64_t small = conflict_misses(0.25);
+  EXPECT_GT(small, 15u);  // nearly every access conflicts
+}
+
+TEST(Hybrid, ValidatesFraction) {
+  MachineConfig cfg = knl7210(ClusterMode::kQuadrant, MemoryMode::kHybrid);
+  cfg.hybrid_cache_fraction = 0.0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.hybrid_cache_fraction = 1.0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(Hybrid, SuiteAndFitRunEndToEnd) {
+  MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kHybrid);
+  cfg.scale_memory(256);
+  bench::SuiteOptions o;
+  o.run.iters = 9;
+  o.remote_samples = 2;
+  o.contention_ns = {1, 2, 4};
+  const model::CapabilityModel m = model::fit_cache_model(cfg, o);
+  EXPECT_GT(m.r_remote, m.r_tile);
+  EXPECT_TRUE(m.has_mcdram);  // the flat part exists
+  // DDR-backed latency goes through the (hybrid) cache: between DRAM and
+  // MCDRAM+tag territory.
+  EXPECT_GT(m.r_mem_dram, 120);
+  EXPECT_LT(m.r_mem_dram, 210);
+}
+
+}  // namespace
+}  // namespace capmem::sim

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "sim/coherence.hpp"
+#include "sim/line_table.hpp"
+
+namespace capmem::sim {
+namespace {
+
+TEST(LineTable, InsertFindErase) {
+  LineTable<int> t;
+  EXPECT_EQ(t.find(5), nullptr);
+  t.get_or_create(5) = 42;
+  ASSERT_NE(t.find(5), nullptr);
+  EXPECT_EQ(*t.find(5), 42);
+  EXPECT_TRUE(t.erase(5));
+  EXPECT_EQ(t.find(5), nullptr);
+  EXPECT_FALSE(t.erase(5));
+}
+
+TEST(LineTable, GetOrCreateIsIdempotent) {
+  LineTable<int> t;
+  t.get_or_create(9) = 1;
+  EXPECT_EQ(t.get_or_create(9), 1);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(LineTable, ReferencesStableAcrossInsertsAndErases) {
+  LineTable<int> t;
+  int& ref = t.get_or_create(1000000);  // outside the churn key range
+  ref = 7;
+  for (std::uint64_t k = 0; k < 50000; ++k) t.get_or_create(k) = 1;
+  for (std::uint64_t k = 0; k < 25000; ++k) t.erase(k);
+  ASSERT_NE(t.find(1000000), nullptr);
+  EXPECT_EQ(*t.find(1000000), 7);
+  EXPECT_EQ(ref, 7);  // deque-backed pool never relocates live entries
+}
+
+TEST(LineTable, MatchesStdMapUnderRandomOps) {
+  LineTable<int> t;
+  std::map<std::uint64_t, int> ref;
+  Rng rng(77);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t key = rng.next_below(500);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const int v = static_cast<int>(rng.next_below(1000));
+        t.get_or_create(key) = v;
+        ref[key] = v;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(t.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {
+        const int* found = t.find(key);
+        const auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(t.size(), ref.size());
+  }
+}
+
+TEST(LineTable, BackwardShiftKeepsCollidingKeysFindable) {
+  // Force collisions by inserting many keys, then erase interleaved and
+  // verify all survivors remain findable (tombstone-free deletion).
+  LineTable<int> t;
+  for (std::uint64_t k = 0; k < 10000; ++k) t.get_or_create(k) = static_cast<int>(k);
+  for (std::uint64_t k = 0; k < 10000; k += 2) t.erase(k);
+  for (std::uint64_t k = 1; k < 10000; k += 2) {
+    ASSERT_NE(t.find(k), nullptr) << k;
+    EXPECT_EQ(*t.find(k), static_cast<int>(k));
+  }
+}
+
+TEST(LineTable, ForEachVisitsAll) {
+  LineTable<int> t;
+  for (std::uint64_t k = 10; k < 20; ++k) t.get_or_create(k) = 1;
+  std::size_t count = 0;
+  std::uint64_t key_sum = 0;
+  t.for_each([&](std::uint64_t k, const int&) {
+    ++count;
+    key_sum += k;
+  });
+  EXPECT_EQ(count, 10u);
+  EXPECT_EQ(key_sum, 145u);
+}
+
+TEST(LineTable, ClearEmpties) {
+  LineTable<int> t;
+  for (std::uint64_t k = 0; k < 100; ++k) t.get_or_create(k);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.find(5), nullptr);
+  t.get_or_create(5) = 3;  // usable after clear
+  EXPECT_EQ(*t.find(5), 3);
+}
+
+TEST(LineTable, GrowsPastInitialCapacity) {
+  LineTable<LineEntry> t;
+  for (std::uint64_t k = 0; k < 100000; ++k) t.get_or_create(k);
+  EXPECT_EQ(t.size(), 100000u);
+  EXPECT_NE(t.find(99999), nullptr);
+}
+
+}  // namespace
+}  // namespace capmem::sim

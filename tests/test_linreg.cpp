@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/linreg.hpp"
+#include "common/rng.hpp"
+
+namespace capmem {
+namespace {
+
+TEST(LinReg, ExactLine) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{5, 7, 9, 11};  // y = 3 + 2x
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.alpha, 3.0, 1e-9);
+  EXPECT_NEAR(f.beta, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+  EXPECT_NEAR(f(10.0), 23.0, 1e-9);
+}
+
+TEST(LinReg, NoisyLineRecoversParameters) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(200.0 + 34.0 * x + rng.normal() * 5.0);
+  }
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.alpha, 200.0, 5.0);
+  EXPECT_NEAR(f.beta, 34.0, 0.5);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(LinReg, ConstantXFallsBackToMean) {
+  std::vector<double> xs{2, 2, 2};
+  std::vector<double> ys{1, 2, 3};
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_DOUBLE_EQ(f.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(f.beta, 0.0);
+  EXPECT_DOUBLE_EQ(f.r2, 0.0);
+}
+
+TEST(LinReg, MismatchedSizesThrow) {
+  std::vector<double> xs{1, 2};
+  std::vector<double> ys{1};
+  EXPECT_THROW(fit_linear(xs, ys), CheckError);
+}
+
+TEST(LinReg, PerfectFlatLineHasR2One) {
+  std::vector<double> xs{1, 2, 3};
+  std::vector<double> ys{4, 4, 4};
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_DOUBLE_EQ(f.beta, 0.0);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);  // zero residuals
+}
+
+}  // namespace
+}  // namespace capmem

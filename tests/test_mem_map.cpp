@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/mem_map.hpp"
+
+namespace capmem::sim {
+namespace {
+
+struct Ctx2 {
+  MachineConfig cfg;
+  Topology topo;
+  MemMap map;
+  explicit Ctx2(MachineConfig c) : cfg(std::move(c)), topo(cfg), map(cfg, topo) {}
+};
+
+TEST(MemMap, KindFollowsPlacementInFlatMode) {
+  Ctx2 c(knl7210(ClusterMode::kQuadrant, MemoryMode::kFlat));
+  EXPECT_EQ(c.map.target(123, {MemKind::kDDR, std::nullopt}).kind,
+            MemKind::kDDR);
+  EXPECT_EQ(c.map.target(123, {MemKind::kMCDRAM, std::nullopt}).kind,
+            MemKind::kMCDRAM);
+}
+
+TEST(MemMap, CacheModeAlwaysDdrBacked) {
+  Ctx2 c(knl7210(ClusterMode::kQuadrant, MemoryMode::kCache));
+  EXPECT_EQ(c.map.target(55, {MemKind::kDDR, std::nullopt}).kind,
+            MemKind::kDDR);
+  EXPECT_THROW(c.map.target(55, {MemKind::kMCDRAM, std::nullopt}),
+               CheckError);
+}
+
+TEST(MemMap, ChannelsRoughlyUniformInUmaModes) {
+  Ctx2 c(knl7210(ClusterMode::kA2A, MemoryMode::kFlat));
+  std::map<int, int> hist;
+  const int n = 60000;
+  for (Line l = 0; l < n; ++l)
+    hist[c.map.target(l, {MemKind::kDDR, std::nullopt}).channel]++;
+  EXPECT_EQ(static_cast<int>(hist.size()), c.cfg.dram_channels());
+  for (const auto& [ch, cnt] : hist) {
+    (void)ch;
+    EXPECT_NEAR(cnt, n / c.cfg.dram_channels(), n / c.cfg.dram_channels() * 0.1);
+  }
+}
+
+TEST(MemMap, A2AHomesSpreadOverAllTiles) {
+  Ctx2 c(knl7210(ClusterMode::kA2A, MemoryMode::kFlat));
+  std::map<int, int> homes;
+  for (Line l = 0; l < 32000; ++l)
+    homes[c.map.target(l, {}).home_tile]++;
+  EXPECT_EQ(static_cast<int>(homes.size()), c.cfg.active_tiles);
+}
+
+TEST(MemMap, QuadrantHomesResideInMemoryStopQuadrant) {
+  Ctx2 c(knl7210(ClusterMode::kQuadrant, MemoryMode::kFlat));
+  for (Line l = 0; l < 4000; ++l) {
+    const MemTarget t = c.map.target(l, {MemKind::kMCDRAM, std::nullopt});
+    const int stop_dom =
+        (t.mem_stop.col >= (c.cfg.mesh_cols + 1) / 2 ? 2 : 0) +
+        (t.mem_stop.row >= (c.cfg.mesh_rows + 1) / 2 ? 1 : 0);
+    EXPECT_EQ(c.topo.quadrant_of_tile(t.home_tile), stop_dom);
+  }
+}
+
+TEST(MemMap, Snc4DomainPlacementUsesClosestImcChannels) {
+  Ctx2 c(knl7210(ClusterMode::kSNC4, MemoryMode::kFlat));
+  const int per = c.cfg.dram_channels_per_controller;
+  for (int dom = 0; dom < 4; ++dom) {
+    const int imc = c.topo.closest_imc(dom);
+    for (Line l = 0; l < 2000; ++l) {
+      const MemTarget t =
+          c.map.target(l, {MemKind::kDDR, std::optional<int>(dom)});
+      EXPECT_GE(t.channel, imc * per);
+      EXPECT_LT(t.channel, (imc + 1) * per);
+    }
+  }
+}
+
+TEST(MemMap, Snc4McdramDomainPlacementStaysInDomainEdcs) {
+  Ctx2 c(knl7210(ClusterMode::kSNC4, MemoryMode::kFlat));
+  for (int dom = 0; dom < 4; ++dom) {
+    const auto edcs = c.topo.edcs_of_domain(ClusterMode::kSNC4, dom);
+    for (Line l = 0; l < 2000; ++l) {
+      const MemTarget t =
+          c.map.target(l, {MemKind::kMCDRAM, std::optional<int>(dom)});
+      EXPECT_NE(std::find(edcs.begin(), edcs.end(), t.channel), edcs.end());
+    }
+  }
+}
+
+TEST(MemMap, InterleavedPlacementUsesAllChannelsInSnc) {
+  Ctx2 c(knl7210(ClusterMode::kSNC4, MemoryMode::kFlat));
+  std::map<int, int> hist;
+  for (Line l = 0; l < 30000; ++l)
+    hist[c.map.target(l, {MemKind::kDDR, std::nullopt}).channel]++;
+  EXPECT_EQ(static_cast<int>(hist.size()), c.cfg.dram_channels());
+}
+
+TEST(MemMap, DeterministicPureFunction) {
+  Ctx2 c(knl7210(ClusterMode::kSNC2, MemoryMode::kFlat));
+  for (Line l = 0; l < 100; ++l) {
+    const MemTarget a = c.map.target(l, {});
+    const MemTarget b = c.map.target(l, {});
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.home_tile, b.home_tile);
+    EXPECT_EQ(a.kind, b.kind);
+  }
+}
+
+TEST(MemMap, HemisphereHomesMatchStopHalf) {
+  Ctx2 c(knl7210(ClusterMode::kHemisphere, MemoryMode::kFlat));
+  for (Line l = 0; l < 4000; ++l) {
+    const MemTarget t = c.map.target(l, {MemKind::kMCDRAM, std::nullopt});
+    const int stop_half = t.mem_stop.col >= (c.cfg.mesh_cols + 1) / 2 ? 1 : 0;
+    EXPECT_EQ(c.topo.domain_of_tile(t.home_tile, ClusterMode::kSNC2),
+              stop_half);
+  }
+}
+
+}  // namespace
+}  // namespace capmem::sim

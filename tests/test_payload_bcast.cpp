@@ -1,0 +1,126 @@
+// Multi-line payload broadcast tests: data correctness across sizes,
+// thread counts and tree shapes; the payload-aware optimizer's structural
+// behaviour (narrowing small-message trees, flattening large-message ones).
+#include <gtest/gtest.h>
+
+#include "coll/harness.hpp"
+#include "coll/payload_bcast.hpp"
+#include "model/fit.hpp"
+
+namespace capmem::coll {
+namespace {
+
+using model::CapabilityModel;
+using sim::knl7210;
+using sim::MachineConfig;
+using sim::MemKind;
+using sim::Schedule;
+
+CapabilityModel toy_model() {
+  CapabilityModel m;
+  m.r_local = 4;
+  m.r_tile = 34;
+  m.r_remote = 118;
+  m.r_mem_dram = 140;
+  m.r_mem_mcdram = 167;
+  m.contention.alpha = 60;
+  m.contention.beta = 34;
+  m.multiline.alpha = 50;
+  m.multiline.beta = 9;
+  m.multiline.r2 = 1;
+  return m;
+}
+
+std::size_t run_payload(int nthreads, std::uint64_t bytes, bool tuned,
+                        int iters = 5) {
+  const MachineConfig cfg = knl7210(sim::ClusterMode::kSNC4,
+                                    sim::MemoryMode::kFlat);
+  sim::Machine machine(cfg);
+  World w;
+  w.machine = &machine;
+  w.slots = sim::make_schedule(cfg, Schedule::kScatter, nthreads);
+  w.place = sim::Placement{MemKind::kMCDRAM, std::nullopt};
+  Recorder rec(nthreads, iters);
+  if (tuned) {
+    const TileGroups g = group_by_tile(w);
+    const auto tree = model::optimize_tree(
+        toy_model(), static_cast<int>(g.leaders.size()),
+        model::TreeKind::kBroadcast, MemKind::kMCDRAM,
+        static_cast<int>(lines_for(bytes)));
+    TunedPayloadBroadcast impl(w, tree, bytes);
+    for (int r = 0; r < nthreads; ++r) {
+      machine.add_thread(w.slots[static_cast<std::size_t>(r)],
+                         impl.program(r, iters, &rec));
+    }
+    machine.run();
+  } else {
+    FlatPayloadBroadcast impl(w, bytes);
+    for (int r = 0; r < nthreads; ++r) {
+      machine.add_thread(w.slots[static_cast<std::size_t>(r)],
+                         impl.program(r, iters, &rec));
+    }
+    machine.run();
+  }
+  return rec.errors();
+}
+
+class PayloadSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PayloadSweep, TunedDeliversCorrectly) {
+  const auto [threads, bytes] = GetParam();
+  EXPECT_EQ(run_payload(threads, bytes, /*tuned=*/true), 0u);
+}
+
+TEST_P(PayloadSweep, FlatDeliversCorrectly) {
+  const auto [threads, bytes] = GetParam();
+  EXPECT_EQ(run_payload(threads, bytes, /*tuned=*/false), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PayloadSweep,
+    ::testing::Combine(::testing::Values(2, 7, 16, 64),
+                       ::testing::Values(std::uint64_t{64}, KiB(1),
+                                         KiB(16))),
+    [](const auto& info) {
+      return std::to_string(std::get<0>(info.param)) + "t_" +
+             std::to_string(std::get<1>(info.param)) + "B";
+    });
+
+TEST(PayloadModel, OptimizerFlattensForLargeMessages) {
+  const CapabilityModel m = toy_model();
+  const auto small = model::optimize_tree(
+      m, 32, model::TreeKind::kBroadcast, MemKind::kMCDRAM, 1);
+  const auto large = model::optimize_tree(
+      m, 32, model::TreeKind::kBroadcast, MemKind::kMCDRAM, 1024);
+  EXPECT_GT(small.root.fanout(), 1);
+  EXPECT_LT(small.root.fanout(), 16);  // contention-limited
+  EXPECT_GT(large.root.fanout(), small.root.fanout());  // copy-parallel
+  EXPECT_LT(model::tree_depth(large.root), 3);
+}
+
+TEST(PayloadModel, MessageCostFallsBackToRemote) {
+  CapabilityModel m = toy_model();
+  EXPECT_DOUBLE_EQ(m.r_message(1), m.r_remote);
+  EXPECT_DOUBLE_EQ(m.r_message(100), 50 + 9 * 100);
+  m.multiline = {};  // unfitted: fall back for any size
+  EXPECT_DOUBLE_EQ(m.r_message(100), m.r_remote);
+}
+
+TEST(PayloadModel, SingleLineMatchesEq1) {
+  const CapabilityModel m = toy_model();
+  EXPECT_DOUBLE_EQ(
+      model::level_cost(m, model::TreeKind::kBroadcast, 4,
+                        MemKind::kMCDRAM, 1),
+      m.r_mem_mcdram + m.r_local + m.t_contention(4) + m.r_mem_mcdram +
+          4 * m.r_remote);
+}
+
+TEST(PayloadWord, DeterministicAndIterationDependent) {
+  EXPECT_EQ(payload_word(3, 7), payload_word(3, 7));
+  EXPECT_NE(payload_word(3, 7), payload_word(4, 7));
+  EXPECT_NE(payload_word(3, 7), payload_word(3, 8));
+}
+
+}  // namespace
+}  // namespace capmem::coll

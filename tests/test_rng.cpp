@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace capmem {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(7), 7u);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng r(11);
+  std::vector<int> hist(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) hist[r.next_below(8)]++;
+  for (int h : hist) EXPECT_NEAR(h, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng r(6);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalFactorHasMedianOne) {
+  Rng r(8);
+  std::vector<double> v;
+  for (int i = 0; i < 20001; ++i) v.push_back(r.lognormal_factor(0.1));
+  std::nth_element(v.begin(), v.begin() + 10000, v.end());
+  EXPECT_NEAR(v[10000], 1.0, 0.01);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng r(5);
+  const std::uint64_t first = r.next_u64();
+  r.next_u64();
+  r.reseed(5);
+  EXPECT_EQ(r.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace capmem

@@ -1,0 +1,174 @@
+// Tests of the analytic sort model (Eqs. 3-5, overhead model) and of the
+// advisor / roofline extensions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "model/advisor.hpp"
+#include "model/roofline.hpp"
+#include "model/sort_model.hpp"
+
+namespace capmem::model {
+namespace {
+
+using sim::MemKind;
+
+CapabilityModel toy_model() {
+  CapabilityModel m;
+  m.r_local = 4.0;
+  m.r_l2 = 18.0;
+  m.r_tile = 34.0;
+  m.r_remote = 118.0;
+  m.r_mem_dram = 140.0;
+  m.r_mem_mcdram = 167.0;
+  m.lat_dram = 140.0;
+  m.lat_mcdram = 167.0;
+  m.contention.alpha = 60;
+  m.contention.beta = 34;
+  m.bw_dram = {4.0, 38.0};
+  m.bw_mcdram = {3.7, 170.0};
+  m.has_mcdram = true;
+  return m;
+}
+
+SortModel toy_sort_model() { return SortModel(toy_model(), SortArch{}); }
+
+TEST(SortModel, MoreDataCostsMore) {
+  const SortModel sm = toy_sort_model();
+  double prev = 0;
+  for (std::uint64_t b : {KiB(1), KiB(64), MiB(1), MiB(16)}) {
+    const double t = sm.predict(b, 16, MemKind::kDDR, true);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SortModel, LatencyModelAboveBandwidthModel) {
+  const SortModel sm = toy_sort_model();
+  for (int n : {1, 4, 64}) {
+    EXPECT_GE(sm.predict(MiB(16), n, MemKind::kDDR, false),
+              sm.predict(MiB(16), n, MemKind::kDDR, true))
+        << n;
+  }
+}
+
+TEST(SortModel, ThreadsHelpLargeSorts) {
+  const SortModel sm = toy_sort_model();
+  EXPECT_GT(sm.predict(MiB(64), 1, MemKind::kDDR, true),
+            sm.predict(MiB(64), 64, MemKind::kDDR, true) * 2.0);
+}
+
+TEST(SortModel, McdramDoesNotHelpBandwidthModel) {
+  // The paper's headline: the sort's decaying parallelism keeps it in the
+  // per-thread regime, so MCDRAM's aggregate bandwidth is unusable.
+  const SortModel sm = toy_sort_model();
+  const double dram = sm.predict(MiB(64), 64, MemKind::kDDR, true);
+  const double mcdram = sm.predict(MiB(64), 64, MemKind::kMCDRAM, true);
+  EXPECT_NEAR(mcdram / dram, 1.0, 0.35);
+}
+
+TEST(SortModel, LatencyModelPrefersDram) {
+  const SortModel sm = toy_sort_model();
+  EXPECT_LT(sm.predict(MiB(4), 16, MemKind::kDDR, false),
+            sm.predict(MiB(4), 16, MemKind::kMCDRAM, false));
+}
+
+TEST(SortModel, OverheadFitAndFullModel) {
+  SortModel sm = toy_sort_model();
+  const std::vector<int> threads{1, 2, 4, 8, 16};
+  std::vector<double> measured;
+  for (int n : threads) {
+    // Generate from the sync-free memory model (the fit's baseline) plus a
+    // known linear overhead.
+    measured.push_back(
+        sm.predict(KiB(1), n, MemKind::kDDR, false, false) + 500.0 +
+        100.0 * n);
+  }
+  sm.fit_overhead(threads, measured, MemKind::kDDR);
+  EXPECT_NEAR(sm.overhead().beta, 100.0, 1.0);
+  EXPECT_NEAR(sm.overhead().alpha, 500.0, 5.0);
+  EXPECT_GT(sm.predict_full(KiB(1), 8, MemKind::kDDR, false),
+            sm.predict(KiB(1), 8, MemKind::kDDR, false));
+}
+
+TEST(SortModel, OverheadFractionGrowsWithThreadsShrinksWithData) {
+  SortModel sm = toy_sort_model();
+  const std::vector<int> threads{1, 4, 16};
+  std::vector<double> measured;
+  for (int n : threads) {
+    measured.push_back(sm.predict(KiB(1), n, MemKind::kDDR, false) +
+                       1000.0 * n);
+  }
+  sm.fit_overhead(threads, measured, MemKind::kDDR);
+  EXPECT_GT(sm.overhead_fraction(MiB(1), 16, MemKind::kDDR),
+            sm.overhead_fraction(MiB(1), 2, MemKind::kDDR));
+  EXPECT_GT(sm.overhead_fraction(MiB(1), 16, MemKind::kDDR),
+            sm.overhead_fraction(MiB(64), 16, MemKind::kDDR));
+}
+
+TEST(SortModel, RejectsBadArguments) {
+  const SortModel sm = toy_sort_model();
+  EXPECT_THROW(sm.predict(32, 1, MemKind::kDDR, true), CheckError);
+  EXPECT_THROW(sm.predict(KiB(1), 0, MemKind::kDDR, true), CheckError);
+}
+
+// --- roofline ---
+
+TEST(Roofline, AttainableAndRidge) {
+  Roofline r{1000.0, 100.0, "X"};
+  EXPECT_DOUBLE_EQ(r.ridge_point(), 10.0);
+  EXPECT_DOUBLE_EQ(r.attainable(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(r.attainable(100.0), 1000.0);
+  EXPECT_TRUE(r.memory_bound(1.0));
+  EXPECT_FALSE(r.memory_bound(20.0));
+}
+
+TEST(Roofline, BuiltFromModel) {
+  const auto rooflines = build_rooflines(toy_model());
+  ASSERT_EQ(rooflines.size(), 2u);
+  EXPECT_DOUBLE_EQ(rooflines[0].mem_gbps, 38.0);
+  EXPECT_DOUBLE_EQ(rooflines[1].mem_gbps, 170.0);
+  EXPECT_LT(rooflines[1].ridge_point(), rooflines[0].ridge_point());
+}
+
+// --- advisor ---
+
+TEST(Advisor, StreamingManyThreadsPrefersMcdram) {
+  const Advice a = advise(toy_model(), {GiB(8), 64, 1.0, false});
+  EXPECT_EQ(a.kind, MemKind::kMCDRAM);
+  EXPECT_GT(a.speedup_vs_other, 1.5);
+}
+
+TEST(Advisor, LatencyBoundPrefersDram) {
+  const Advice a = advise(toy_model(), {GiB(4), 16, 0.0, false});
+  EXPECT_EQ(a.kind, MemKind::kDDR);
+}
+
+TEST(Advisor, ThreadDecayPrefersDram) {
+  const Advice a = advise(toy_model(), {GiB(1), 64, 0.9, true});
+  EXPECT_EQ(a.kind, MemKind::kDDR);
+  EXPECT_NE(a.reasoning.find("decay"), std::string::npos);
+}
+
+TEST(Advisor, OversizedWorkingSetForcesDram) {
+  const Advice a = advise(toy_model(), {GiB(60), 64, 1.0, false});
+  EXPECT_EQ(a.kind, MemKind::kDDR);
+  EXPECT_DOUBLE_EQ(a.speedup_vs_other, 1.0);
+}
+
+TEST(Advisor, CacheModeHasNoChoice) {
+  CapabilityModel m = toy_model();
+  m.has_mcdram = false;
+  const Advice a = advise(m, {GiB(1), 64, 1.0, false});
+  EXPECT_EQ(a.kind, MemKind::kDDR);
+  EXPECT_NE(a.reasoning.find("cache mode"), std::string::npos);
+}
+
+TEST(Advisor, RejectsBadProfiles) {
+  EXPECT_THROW(advise(toy_model(), {GiB(1), 0, 1.0, false}), CheckError);
+  EXPECT_THROW(advise(toy_model(), {GiB(1), 4, 1.5, false}), CheckError);
+}
+
+}  // namespace
+}  // namespace capmem::model

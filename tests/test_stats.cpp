@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace capmem {
+namespace {
+
+TEST(Stats, MedianOddEven) {
+  std::vector<double> odd{3, 1, 2};
+  std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, QuantileEndpointsAndInterpolation) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.125), 15.0);
+}
+
+TEST(Stats, QuantileRejectsOutOfRange) {
+  std::vector<double> v{1.0};
+  EXPECT_THROW(quantile(v, 1.5), CheckError);
+  EXPECT_THROW(quantile(v, -0.1), CheckError);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 0.001);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(median(v), 0.0);
+  EXPECT_DOUBLE_EQ(mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(Stats, SummaryFiveNumber) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 101);
+  EXPECT_DOUBLE_EQ(s.median, 51);
+  EXPECT_DOUBLE_EQ(s.q1, 26);
+  EXPECT_DOUBLE_EQ(s.q3, 76);
+  EXPECT_DOUBLE_EQ(s.iqr(), 50);
+}
+
+TEST(Stats, MedianCiCoversTightData) {
+  std::vector<double> v(1000, 100.0);
+  for (std::size_t i = 0; i < 50; ++i) v[i] = 101.0;
+  const Summary s = summarize(v);
+  EXPECT_LE(s.median_ci_lo, s.median);
+  EXPECT_GE(s.median_ci_hi, s.median);
+  EXPECT_TRUE(s.median_within(0.1));  // the paper's acceptance criterion
+}
+
+TEST(Stats, MedianWithinDetectsWideCi) {
+  // Bimodal data: half 1, half 100 -> median CI spans the gap.
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(1.0);
+  for (int i = 0; i < 50; ++i) v.push_back(100.0);
+  const Summary s = summarize(v);
+  EXPECT_FALSE(s.median_within(0.1));
+}
+
+TEST(Stats, ElementwiseMax) {
+  std::vector<std::vector<double>> series{{1, 5, 2}, {3, 4, 9}, {2, 2, 2}};
+  EXPECT_EQ(elementwise_max(series), (std::vector<double>{3, 5, 9}));
+}
+
+TEST(Stats, ElementwiseMaxRejectsRagged) {
+  std::vector<std::vector<double>> series{{1, 2}, {1}};
+  EXPECT_THROW(elementwise_max(series), CheckError);
+}
+
+TEST(Stats, SummaryStrMentionsMedianAndN) {
+  std::vector<double> v{1, 2, 3};
+  const std::string s = summarize(v).str();
+  EXPECT_NE(s.find("2"), std::string::npos);
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace capmem

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace capmem {
+namespace {
+
+TEST(FmtNum, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt_num(3.800, 3), "3.8");
+  EXPECT_EQ(fmt_num(118.0, 3), "118");
+  EXPECT_EQ(fmt_num(0.25, 3), "0.25");
+  EXPECT_EQ(fmt_num(-0.0001, 2), "0");
+}
+
+TEST(FmtNum, HandlesNan) {
+  EXPECT_EQ(fmt_num(std::nan(""), 3), "nan");
+}
+
+TEST(Table, AlignedTextOutput) {
+  Table t("demo");
+  t.set_header({"mode", "lat", "bw"});
+  t.add_row({"SNC4", "118", "7.7"});
+  t.add_row_nums("A2A", {122.0, 7.5});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("SNC4"), std::string::npos);
+  EXPECT_NE(s.find("122"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvQuoting) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RaggedRowsPadded) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace capmem

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/topology.hpp"
+
+namespace capmem::sim {
+namespace {
+
+TEST(Topology, ActiveTileCountMatchesConfig) {
+  const MachineConfig cfg = knl7210();
+  Topology t(cfg);
+  EXPECT_EQ(t.active_tiles(), cfg.active_tiles);
+  EXPECT_EQ(t.cores(), cfg.cores());
+}
+
+TEST(Topology, TilePositionsUniqueAndInGrid) {
+  const MachineConfig cfg = knl7210();
+  Topology t(cfg);
+  std::set<std::pair<int, int>> seen;
+  for (int i = 0; i < t.active_tiles(); ++i) {
+    const Coord c = t.tile_coord(i);
+    EXPECT_GE(c.row, 0);
+    EXPECT_LT(c.row, cfg.mesh_rows);
+    EXPECT_GE(c.col, 0);
+    EXPECT_LT(c.col, cfg.mesh_cols);
+    EXPECT_TRUE(seen.insert({c.row, c.col}).second);
+  }
+}
+
+TEST(Topology, HopsAreManhattanAndSymmetric) {
+  Topology t(knl7210());
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      EXPECT_EQ(t.tile_hops(a, b), t.tile_hops(b, a));
+      EXPECT_GE(t.tile_hops(a, b), 0);
+    }
+    EXPECT_EQ(t.tile_hops(a, a), 0);
+  }
+}
+
+TEST(Topology, HopsSatisfyTriangleInequality) {
+  Topology t(knl7210());
+  for (int a = 0; a < 6; ++a)
+    for (int b = 0; b < 6; ++b)
+      for (int c = 0; c < 6; ++c)
+        EXPECT_LE(t.tile_hops(a, c), t.tile_hops(a, b) + t.tile_hops(b, c));
+}
+
+TEST(Topology, DomainsPartitionTiles) {
+  Topology t(knl7210());
+  for (ClusterMode mode : all_cluster_modes()) {
+    const int ndom = Topology::domains(mode);
+    int total = 0;
+    for (int d = 0; d < ndom; ++d) {
+      for (int tile : t.tiles_in_domain(mode, d)) {
+        EXPECT_EQ(t.domain_of_tile(tile, mode), d);
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, t.active_tiles());
+  }
+}
+
+TEST(Topology, QuadrantsAreBalanced) {
+  Topology t(knl7210());
+  for (int d = 0; d < 4; ++d) {
+    const auto& tiles = t.tiles_in_domain(ClusterMode::kSNC4, d);
+    EXPECT_EQ(static_cast<int>(tiles.size()), t.active_tiles() / 4);
+  }
+}
+
+TEST(Topology, DomainCounts) {
+  EXPECT_EQ(Topology::domains(ClusterMode::kSNC4), 4);
+  EXPECT_EQ(Topology::domains(ClusterMode::kQuadrant), 4);
+  EXPECT_EQ(Topology::domains(ClusterMode::kSNC2), 2);
+  EXPECT_EQ(Topology::domains(ClusterMode::kHemisphere), 2);
+  EXPECT_EQ(Topology::domains(ClusterMode::kA2A), 1);
+}
+
+TEST(Topology, HemisphereIsCoarseningOfQuadrants) {
+  Topology t(knl7210());
+  for (int tile = 0; tile < t.active_tiles(); ++tile) {
+    const int q = t.domain_of_tile(tile, ClusterMode::kSNC4);
+    const int h = t.domain_of_tile(tile, ClusterMode::kSNC2);
+    EXPECT_EQ(h, q / 2);  // quadrant id is right*2+bottom
+  }
+}
+
+TEST(Topology, ClosestImcPerQuadrant) {
+  Topology t(knl7210());
+  EXPECT_EQ(t.closest_imc(0), 0);
+  EXPECT_EQ(t.closest_imc(1), 0);
+  EXPECT_EQ(t.closest_imc(2), 1);
+  EXPECT_EQ(t.closest_imc(3), 1);
+}
+
+TEST(Topology, EdcsCoverAllDomains) {
+  Topology t(knl7210());
+  for (ClusterMode mode : all_cluster_modes()) {
+    for (int d = 0; d < Topology::domains(mode); ++d) {
+      EXPECT_FALSE(t.edcs_of_domain(mode, d).empty());
+    }
+  }
+}
+
+TEST(Topology, DisabledTilesDifferAcrossSeeds) {
+  MachineConfig a = knl7210();
+  MachineConfig b = knl7210();
+  b.seed = a.seed + 1;
+  Topology ta(a), tb(b);
+  bool any_diff = false;
+  for (int i = 0; i < ta.active_tiles(); ++i) {
+    if (!(ta.tile_coord(i) == tb.tile_coord(i))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Topology, DeterministicForSameSeed) {
+  Topology a(knl7210()), b(knl7210());
+  for (int i = 0; i < a.active_tiles(); ++i)
+    EXPECT_TRUE(a.tile_coord(i) == b.tile_coord(i));
+}
+
+TEST(Topology, TinyMachineValid) {
+  Topology t(tiny_machine());
+  EXPECT_EQ(t.active_tiles(), 8);
+  for (int d = 0; d < 4; ++d)
+    EXPECT_FALSE(t.tiles_in_domain(ClusterMode::kSNC4, d).empty());
+}
+
+TEST(Topology, TileOfCoreMapping) {
+  Topology t(knl7210());
+  EXPECT_EQ(t.tile_of_core(0), 0);
+  EXPECT_EQ(t.tile_of_core(1), 0);
+  EXPECT_EQ(t.tile_of_core(2), 1);
+  EXPECT_EQ(t.first_core_of_tile(5), 10);
+}
+
+}  // namespace
+}  // namespace capmem::sim

@@ -1,0 +1,73 @@
+// Window-synchronized harness tests: the TSC skew calibration recovers the
+// machine's (hidden) per-core offsets, and window-based measurements agree
+// with the idealized engine-barrier harness.
+#include <gtest/gtest.h>
+
+#include "bench/windows.hpp"
+#include "sim/machine.hpp"
+
+namespace capmem::bench {
+namespace {
+
+using sim::knl7210;
+using sim::MachineConfig;
+
+TEST(TscSkew, CalibrationRecoversGroundTruth) {
+  MachineConfig cfg = knl7210();
+  cfg.noise.enabled = false;
+  sim::Machine probe(cfg);  // exposes the ground-truth skews
+  const std::vector<double> est = calibrate_tsc_skew(cfg, 9);
+  ASSERT_EQ(static_cast<int>(est.size()), cfg.cores());
+  EXPECT_DOUBLE_EQ(est[0], 0.0);
+  for (int c = 1; c < cfg.cores(); c += 7) {
+    const double truth = probe.tsc_skew(c) - probe.tsc_skew(0);
+    // Quantization (10 ns) + forward/backward path asymmetry (the reply
+    // leg includes a poll wake-up) bound the estimator error well below
+    // the +/-80 ns skew range being corrected.
+    EXPECT_NEAR(est[static_cast<std::size_t>(c)], truth, 60.0) << c;
+  }
+}
+
+TEST(TscSkew, DeterministicPerSeed) {
+  MachineConfig cfg = knl7210();
+  const auto a = calibrate_tsc_skew(cfg, 5);
+  const auto b = calibrate_tsc_skew(cfg, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(WindowedHarness, AgreesWithBarrierHarness) {
+  MachineConfig cfg = knl7210();
+  WindowOptions wo;
+  wo.run.iters = 31;
+  const Summary windowed =
+      c2c_read_latency_windowed(cfg, /*victim=*/20, /*probe=*/0,
+                                PrepState::kM, wo);
+  C2COptions co;
+  co.run.iters = 31;
+  const Summary barrier =
+      c2c_read_latency(cfg, 20, 0, PrepState::kM, co);
+  EXPECT_NEAR(windowed.median, barrier.median, barrier.median * 0.10);
+}
+
+TEST(WindowedHarness, ExclusiveStateToo) {
+  MachineConfig cfg = knl7210();
+  WindowOptions wo;
+  wo.run.iters = 21;
+  const Summary m =
+      c2c_read_latency_windowed(cfg, 20, 0, PrepState::kM, wo);
+  const Summary e =
+      c2c_read_latency_windowed(cfg, 20, 0, PrepState::kE, wo);
+  EXPECT_GT(m.median, e.median);  // M pays the write-back downgrade
+}
+
+TEST(WindowedHarness, RejectsMultiPreparerStates) {
+  MachineConfig cfg = knl7210();
+  WindowOptions wo;
+  wo.run.iters = 3;
+  EXPECT_THROW(
+      c2c_read_latency_windowed(cfg, 20, 0, PrepState::kS, wo),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace capmem::bench
