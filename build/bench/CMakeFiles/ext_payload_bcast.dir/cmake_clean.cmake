@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_payload_bcast.dir/ext_payload_bcast.cpp.o"
+  "CMakeFiles/ext_payload_bcast.dir/ext_payload_bcast.cpp.o.d"
+  "ext_payload_bcast"
+  "ext_payload_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_payload_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

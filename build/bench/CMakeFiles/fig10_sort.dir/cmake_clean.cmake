@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sort.dir/fig10_sort.cpp.o"
+  "CMakeFiles/fig10_sort.dir/fig10_sort.cpp.o.d"
+  "fig10_sort"
+  "fig10_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

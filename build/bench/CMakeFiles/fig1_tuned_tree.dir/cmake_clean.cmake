@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tuned_tree.dir/fig1_tuned_tree.cpp.o"
+  "CMakeFiles/fig1_tuned_tree.dir/fig1_tuned_tree.cpp.o.d"
+  "fig1_tuned_tree"
+  "fig1_tuned_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tuned_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_c2c_bandwidth.dir/fig5_c2c_bandwidth.cpp.o"
+  "CMakeFiles/fig5_c2c_bandwidth.dir/fig5_c2c_bandwidth.cpp.o.d"
+  "fig5_c2c_bandwidth"
+  "fig5_c2c_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_c2c_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

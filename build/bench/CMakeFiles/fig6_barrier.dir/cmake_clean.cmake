@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_barrier.dir/fig6_barrier.cpp.o"
+  "CMakeFiles/fig6_barrier.dir/fig6_barrier.cpp.o.d"
+  "fig6_barrier"
+  "fig6_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

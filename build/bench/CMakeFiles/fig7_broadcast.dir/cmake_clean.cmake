@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_broadcast.dir/fig7_broadcast.cpp.o"
+  "CMakeFiles/fig7_broadcast.dir/fig7_broadcast.cpp.o.d"
+  "fig7_broadcast"
+  "fig7_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_reduce.dir/fig8_reduce.cpp.o"
+  "CMakeFiles/fig8_reduce.dir/fig8_reduce.cpp.o.d"
+  "fig8_reduce"
+  "fig8_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

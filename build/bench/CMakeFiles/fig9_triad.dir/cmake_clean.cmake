@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_triad.dir/fig9_triad.cpp.o"
+  "CMakeFiles/fig9_triad.dir/fig9_triad.cpp.o.d"
+  "fig9_triad"
+  "fig9_triad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_triad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

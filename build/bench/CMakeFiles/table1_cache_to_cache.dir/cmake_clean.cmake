@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cache_to_cache.dir/table1_cache_to_cache.cpp.o"
+  "CMakeFiles/table1_cache_to_cache.dir/table1_cache_to_cache.cpp.o.d"
+  "table1_cache_to_cache"
+  "table1_cache_to_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cache_to_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_cache_to_cache.
+# This may be replaced when dependencies are built.

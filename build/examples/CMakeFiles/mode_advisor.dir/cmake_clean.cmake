@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_advisor.dir/mode_advisor.cpp.o"
+  "CMakeFiles/mode_advisor.dir/mode_advisor.cpp.o.d"
+  "mode_advisor"
+  "mode_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_collectives.dir/tune_collectives.cpp.o"
+  "CMakeFiles/tune_collectives.dir/tune_collectives.cpp.o.d"
+  "tune_collectives"
+  "tune_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench/c2c.cpp" "src/CMakeFiles/capmem_bench.dir/bench/c2c.cpp.o" "gcc" "src/CMakeFiles/capmem_bench.dir/bench/c2c.cpp.o.d"
+  "/root/repo/src/bench/congestion.cpp" "src/CMakeFiles/capmem_bench.dir/bench/congestion.cpp.o" "gcc" "src/CMakeFiles/capmem_bench.dir/bench/congestion.cpp.o.d"
+  "/root/repo/src/bench/contention.cpp" "src/CMakeFiles/capmem_bench.dir/bench/contention.cpp.o" "gcc" "src/CMakeFiles/capmem_bench.dir/bench/contention.cpp.o.d"
+  "/root/repo/src/bench/measurement.cpp" "src/CMakeFiles/capmem_bench.dir/bench/measurement.cpp.o" "gcc" "src/CMakeFiles/capmem_bench.dir/bench/measurement.cpp.o.d"
+  "/root/repo/src/bench/multiline.cpp" "src/CMakeFiles/capmem_bench.dir/bench/multiline.cpp.o" "gcc" "src/CMakeFiles/capmem_bench.dir/bench/multiline.cpp.o.d"
+  "/root/repo/src/bench/pointer_chase.cpp" "src/CMakeFiles/capmem_bench.dir/bench/pointer_chase.cpp.o" "gcc" "src/CMakeFiles/capmem_bench.dir/bench/pointer_chase.cpp.o.d"
+  "/root/repo/src/bench/stream.cpp" "src/CMakeFiles/capmem_bench.dir/bench/stream.cpp.o" "gcc" "src/CMakeFiles/capmem_bench.dir/bench/stream.cpp.o.d"
+  "/root/repo/src/bench/suite.cpp" "src/CMakeFiles/capmem_bench.dir/bench/suite.cpp.o" "gcc" "src/CMakeFiles/capmem_bench.dir/bench/suite.cpp.o.d"
+  "/root/repo/src/bench/windows.cpp" "src/CMakeFiles/capmem_bench.dir/bench/windows.cpp.o" "gcc" "src/CMakeFiles/capmem_bench.dir/bench/windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

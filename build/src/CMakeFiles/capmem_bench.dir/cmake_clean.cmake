@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmem_bench.dir/bench/c2c.cpp.o"
+  "CMakeFiles/capmem_bench.dir/bench/c2c.cpp.o.d"
+  "CMakeFiles/capmem_bench.dir/bench/congestion.cpp.o"
+  "CMakeFiles/capmem_bench.dir/bench/congestion.cpp.o.d"
+  "CMakeFiles/capmem_bench.dir/bench/contention.cpp.o"
+  "CMakeFiles/capmem_bench.dir/bench/contention.cpp.o.d"
+  "CMakeFiles/capmem_bench.dir/bench/measurement.cpp.o"
+  "CMakeFiles/capmem_bench.dir/bench/measurement.cpp.o.d"
+  "CMakeFiles/capmem_bench.dir/bench/multiline.cpp.o"
+  "CMakeFiles/capmem_bench.dir/bench/multiline.cpp.o.d"
+  "CMakeFiles/capmem_bench.dir/bench/pointer_chase.cpp.o"
+  "CMakeFiles/capmem_bench.dir/bench/pointer_chase.cpp.o.d"
+  "CMakeFiles/capmem_bench.dir/bench/stream.cpp.o"
+  "CMakeFiles/capmem_bench.dir/bench/stream.cpp.o.d"
+  "CMakeFiles/capmem_bench.dir/bench/suite.cpp.o"
+  "CMakeFiles/capmem_bench.dir/bench/suite.cpp.o.d"
+  "CMakeFiles/capmem_bench.dir/bench/windows.cpp.o"
+  "CMakeFiles/capmem_bench.dir/bench/windows.cpp.o.d"
+  "libcapmem_bench.a"
+  "libcapmem_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmem_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/baseline_mpi.cpp" "src/CMakeFiles/capmem_coll.dir/coll/baseline_mpi.cpp.o" "gcc" "src/CMakeFiles/capmem_coll.dir/coll/baseline_mpi.cpp.o.d"
+  "/root/repo/src/coll/baseline_omp.cpp" "src/CMakeFiles/capmem_coll.dir/coll/baseline_omp.cpp.o" "gcc" "src/CMakeFiles/capmem_coll.dir/coll/baseline_omp.cpp.o.d"
+  "/root/repo/src/coll/harness.cpp" "src/CMakeFiles/capmem_coll.dir/coll/harness.cpp.o" "gcc" "src/CMakeFiles/capmem_coll.dir/coll/harness.cpp.o.d"
+  "/root/repo/src/coll/payload_bcast.cpp" "src/CMakeFiles/capmem_coll.dir/coll/payload_bcast.cpp.o" "gcc" "src/CMakeFiles/capmem_coll.dir/coll/payload_bcast.cpp.o.d"
+  "/root/repo/src/coll/runtime.cpp" "src/CMakeFiles/capmem_coll.dir/coll/runtime.cpp.o" "gcc" "src/CMakeFiles/capmem_coll.dir/coll/runtime.cpp.o.d"
+  "/root/repo/src/coll/tuned.cpp" "src/CMakeFiles/capmem_coll.dir/coll/tuned.cpp.o" "gcc" "src/CMakeFiles/capmem_coll.dir/coll/tuned.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capmem_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmem_coll.dir/coll/baseline_mpi.cpp.o"
+  "CMakeFiles/capmem_coll.dir/coll/baseline_mpi.cpp.o.d"
+  "CMakeFiles/capmem_coll.dir/coll/baseline_omp.cpp.o"
+  "CMakeFiles/capmem_coll.dir/coll/baseline_omp.cpp.o.d"
+  "CMakeFiles/capmem_coll.dir/coll/harness.cpp.o"
+  "CMakeFiles/capmem_coll.dir/coll/harness.cpp.o.d"
+  "CMakeFiles/capmem_coll.dir/coll/payload_bcast.cpp.o"
+  "CMakeFiles/capmem_coll.dir/coll/payload_bcast.cpp.o.d"
+  "CMakeFiles/capmem_coll.dir/coll/runtime.cpp.o"
+  "CMakeFiles/capmem_coll.dir/coll/runtime.cpp.o.d"
+  "CMakeFiles/capmem_coll.dir/coll/tuned.cpp.o"
+  "CMakeFiles/capmem_coll.dir/coll/tuned.cpp.o.d"
+  "libcapmem_coll.a"
+  "libcapmem_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmem_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

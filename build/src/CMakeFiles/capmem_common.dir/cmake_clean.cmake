@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmem_common.dir/common/ascii_plot.cpp.o"
+  "CMakeFiles/capmem_common.dir/common/ascii_plot.cpp.o.d"
+  "CMakeFiles/capmem_common.dir/common/cli.cpp.o"
+  "CMakeFiles/capmem_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/capmem_common.dir/common/linreg.cpp.o"
+  "CMakeFiles/capmem_common.dir/common/linreg.cpp.o.d"
+  "CMakeFiles/capmem_common.dir/common/log.cpp.o"
+  "CMakeFiles/capmem_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/capmem_common.dir/common/stats.cpp.o"
+  "CMakeFiles/capmem_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/capmem_common.dir/common/table.cpp.o"
+  "CMakeFiles/capmem_common.dir/common/table.cpp.o.d"
+  "libcapmem_common.a"
+  "libcapmem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/advisor.cpp" "src/CMakeFiles/capmem_model.dir/model/advisor.cpp.o" "gcc" "src/CMakeFiles/capmem_model.dir/model/advisor.cpp.o.d"
+  "/root/repo/src/model/collective_model.cpp" "src/CMakeFiles/capmem_model.dir/model/collective_model.cpp.o" "gcc" "src/CMakeFiles/capmem_model.dir/model/collective_model.cpp.o.d"
+  "/root/repo/src/model/dissemination_opt.cpp" "src/CMakeFiles/capmem_model.dir/model/dissemination_opt.cpp.o" "gcc" "src/CMakeFiles/capmem_model.dir/model/dissemination_opt.cpp.o.d"
+  "/root/repo/src/model/efficiency.cpp" "src/CMakeFiles/capmem_model.dir/model/efficiency.cpp.o" "gcc" "src/CMakeFiles/capmem_model.dir/model/efficiency.cpp.o.d"
+  "/root/repo/src/model/fit.cpp" "src/CMakeFiles/capmem_model.dir/model/fit.cpp.o" "gcc" "src/CMakeFiles/capmem_model.dir/model/fit.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/CMakeFiles/capmem_model.dir/model/params.cpp.o" "gcc" "src/CMakeFiles/capmem_model.dir/model/params.cpp.o.d"
+  "/root/repo/src/model/roofline.cpp" "src/CMakeFiles/capmem_model.dir/model/roofline.cpp.o" "gcc" "src/CMakeFiles/capmem_model.dir/model/roofline.cpp.o.d"
+  "/root/repo/src/model/sort_model.cpp" "src/CMakeFiles/capmem_model.dir/model/sort_model.cpp.o" "gcc" "src/CMakeFiles/capmem_model.dir/model/sort_model.cpp.o.d"
+  "/root/repo/src/model/tree_opt.cpp" "src/CMakeFiles/capmem_model.dir/model/tree_opt.cpp.o" "gcc" "src/CMakeFiles/capmem_model.dir/model/tree_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capmem_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmem_model.dir/model/advisor.cpp.o"
+  "CMakeFiles/capmem_model.dir/model/advisor.cpp.o.d"
+  "CMakeFiles/capmem_model.dir/model/collective_model.cpp.o"
+  "CMakeFiles/capmem_model.dir/model/collective_model.cpp.o.d"
+  "CMakeFiles/capmem_model.dir/model/dissemination_opt.cpp.o"
+  "CMakeFiles/capmem_model.dir/model/dissemination_opt.cpp.o.d"
+  "CMakeFiles/capmem_model.dir/model/efficiency.cpp.o"
+  "CMakeFiles/capmem_model.dir/model/efficiency.cpp.o.d"
+  "CMakeFiles/capmem_model.dir/model/fit.cpp.o"
+  "CMakeFiles/capmem_model.dir/model/fit.cpp.o.d"
+  "CMakeFiles/capmem_model.dir/model/params.cpp.o"
+  "CMakeFiles/capmem_model.dir/model/params.cpp.o.d"
+  "CMakeFiles/capmem_model.dir/model/roofline.cpp.o"
+  "CMakeFiles/capmem_model.dir/model/roofline.cpp.o.d"
+  "CMakeFiles/capmem_model.dir/model/sort_model.cpp.o"
+  "CMakeFiles/capmem_model.dir/model/sort_model.cpp.o.d"
+  "CMakeFiles/capmem_model.dir/model/tree_opt.cpp.o"
+  "CMakeFiles/capmem_model.dir/model/tree_opt.cpp.o.d"
+  "libcapmem_model.a"
+  "libcapmem_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmem_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address.cpp" "src/CMakeFiles/capmem_sim.dir/sim/address.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/address.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/capmem_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/coherence.cpp" "src/CMakeFiles/capmem_sim.dir/sim/coherence.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/coherence.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/capmem_sim.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/capmem_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/capmem_sim.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/mcdram_cache.cpp" "src/CMakeFiles/capmem_sim.dir/sim/mcdram_cache.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/mcdram_cache.cpp.o.d"
+  "/root/repo/src/sim/mem_map.cpp" "src/CMakeFiles/capmem_sim.dir/sim/mem_map.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/mem_map.cpp.o.d"
+  "/root/repo/src/sim/memsys.cpp" "src/CMakeFiles/capmem_sim.dir/sim/memsys.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/memsys.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/capmem_sim.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/thread.cpp" "src/CMakeFiles/capmem_sim.dir/sim/thread.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/thread.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/capmem_sim.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/capmem_sim.dir/sim/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmem_sim.dir/sim/address.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/address.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/coherence.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/coherence.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/config.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/config.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/machine.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/machine.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/mcdram_cache.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/mcdram_cache.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/mem_map.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/mem_map.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/memsys.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/memsys.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/resource.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/resource.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/thread.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/thread.cpp.o.d"
+  "CMakeFiles/capmem_sim.dir/sim/topology.cpp.o"
+  "CMakeFiles/capmem_sim.dir/sim/topology.cpp.o.d"
+  "libcapmem_sim.a"
+  "libcapmem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

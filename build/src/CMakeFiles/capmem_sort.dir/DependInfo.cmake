@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sort/bitonic_net.cpp" "src/CMakeFiles/capmem_sort.dir/sort/bitonic_net.cpp.o" "gcc" "src/CMakeFiles/capmem_sort.dir/sort/bitonic_net.cpp.o.d"
+  "/root/repo/src/sort/harness.cpp" "src/CMakeFiles/capmem_sort.dir/sort/harness.cpp.o" "gcc" "src/CMakeFiles/capmem_sort.dir/sort/harness.cpp.o.d"
+  "/root/repo/src/sort/merge.cpp" "src/CMakeFiles/capmem_sort.dir/sort/merge.cpp.o" "gcc" "src/CMakeFiles/capmem_sort.dir/sort/merge.cpp.o.d"
+  "/root/repo/src/sort/parallel_sort.cpp" "src/CMakeFiles/capmem_sort.dir/sort/parallel_sort.cpp.o" "gcc" "src/CMakeFiles/capmem_sort.dir/sort/parallel_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capmem_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmem_sort.dir/sort/bitonic_net.cpp.o"
+  "CMakeFiles/capmem_sort.dir/sort/bitonic_net.cpp.o.d"
+  "CMakeFiles/capmem_sort.dir/sort/harness.cpp.o"
+  "CMakeFiles/capmem_sort.dir/sort/harness.cpp.o.d"
+  "CMakeFiles/capmem_sort.dir/sort/merge.cpp.o"
+  "CMakeFiles/capmem_sort.dir/sort/merge.cpp.o.d"
+  "CMakeFiles/capmem_sort.dir/sort/parallel_sort.cpp.o"
+  "CMakeFiles/capmem_sort.dir/sort/parallel_sort.cpp.o.d"
+  "libcapmem_sort.a"
+  "libcapmem_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmem_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

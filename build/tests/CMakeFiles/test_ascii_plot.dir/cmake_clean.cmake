@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascii_plot.dir/test_ascii_plot.cpp.o"
+  "CMakeFiles/test_ascii_plot.dir/test_ascii_plot.cpp.o.d"
+  "test_ascii_plot"
+  "test_ascii_plot.pdb"
+  "test_ascii_plot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascii_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_efficiency.dir/test_efficiency.cpp.o"
+  "CMakeFiles/test_efficiency.dir/test_efficiency.cpp.o.d"
+  "test_efficiency"
+  "test_efficiency.pdb"
+  "test_efficiency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

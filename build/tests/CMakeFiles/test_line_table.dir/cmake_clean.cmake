@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_table.dir/test_line_table.cpp.o"
+  "CMakeFiles/test_line_table.dir/test_line_table.cpp.o.d"
+  "test_line_table"
+  "test_line_table.pdb"
+  "test_line_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcdram_cache.dir/test_mcdram_cache.cpp.o"
+  "CMakeFiles/test_mcdram_cache.dir/test_mcdram_cache.cpp.o.d"
+  "test_mcdram_cache"
+  "test_mcdram_cache.pdb"
+  "test_mcdram_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcdram_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mem_map.cpp" "tests/CMakeFiles/test_mem_map.dir/test_mem_map.cpp.o" "gcc" "tests/CMakeFiles/test_mem_map.dir/test_mem_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capmem_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

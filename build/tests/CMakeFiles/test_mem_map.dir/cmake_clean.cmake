@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_map.dir/test_mem_map.cpp.o"
+  "CMakeFiles/test_mem_map.dir/test_mem_map.cpp.o.d"
+  "test_mem_map"
+  "test_mem_map.pdb"
+  "test_mem_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

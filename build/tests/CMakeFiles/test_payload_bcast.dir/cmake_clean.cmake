@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payload_bcast.dir/test_payload_bcast.cpp.o"
+  "CMakeFiles/test_payload_bcast.dir/test_payload_bcast.cpp.o.d"
+  "test_payload_bcast"
+  "test_payload_bcast.pdb"
+  "test_payload_bcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payload_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort_model.dir/test_sort_model.cpp.o"
+  "CMakeFiles/test_sort_model.dir/test_sort_model.cpp.o.d"
+  "test_sort_model"
+  "test_sort_model.pdb"
+  "test_sort_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
