@@ -7,58 +7,88 @@
 
 #include "bench_common.hpp"
 #include "coll/harness.hpp"
+#include "exec/experiment.hpp"
 #include "model/fit.hpp"
 
 using namespace capmem;
 using namespace capmem::sim;
 using namespace capmem::model;
 
+namespace {
+
+// One fully-measured configuration cell, built independently per config so
+// the 15 configs can fan out across host workers.
+struct ConfigRow {
+  ClusterMode cm;
+  MemoryMode mm;
+  std::vector<std::string> cells;
+  std::size_t errors = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int fit_iters = static_cast<int>(cli.get_int("fit_iters", 21));
   const int iters = static_cast<int>(cli.get_int("iters", 51));
   const int nthreads = static_cast<int>(cli.get_int("threads", 64));
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   Table t("Ablation — model + tuned collectives across all 15 configs");
   t.set_header({"cluster", "memory", "R_R", "R_I", "beta", "tree fanout",
                 "tree depth", "barrier ns", "bcast ns", "reduce ns"});
 
+  std::vector<std::pair<ClusterMode, MemoryMode>> configs;
   for (ClusterMode cm : all_cluster_modes()) {
     for (MemoryMode mm :
          {MemoryMode::kFlat, MemoryMode::kCache, MemoryMode::kHybrid}) {
-      MachineConfig cfg = knl7210(cm, mm);
-      if (mm != MemoryMode::kFlat) cfg.scale_memory(64);
-      bench::SuiteOptions so;
-      so.run.iters = fit_iters;
-      const CapabilityModel m = fit_cache_model(cfg, so);
-      const MemKind cell_kind =
-          mm == MemoryMode::kCache ? MemKind::kDDR : MemKind::kMCDRAM;
-      const TunedTree tree = optimize_tree(m, cfg.active_tiles,
-                                           TreeKind::kBroadcast, cell_kind);
-      coll::HarnessOptions ho;
-      ho.iters = iters;
-      ho.cell_kind = cell_kind;
-      const auto bar = coll::run_collective(cfg, coll::Algo::kTunedBarrier,
-                                            nthreads, &m, ho);
-      const auto bc = coll::run_collective(cfg, coll::Algo::kTunedBroadcast,
-                                           nthreads, &m, ho);
-      const auto rd = coll::run_collective(cfg, coll::Algo::kTunedReduce,
-                                           nthreads, &m, ho);
-      if (bar.errors + bc.errors + rd.errors != 0) {
-        std::cout << "!! validation errors in " << to_string(cm) << "/"
-                  << to_string(mm) << "\n";
-        return 1;
-      }
-      t.add_row({to_string(cm), to_string(mm), fmt_num(m.r_remote, 0),
-                 fmt_num(m.r_mem(cell_kind), 0),
-                 fmt_num(m.contention.beta, 1),
-                 fmt_num(tree.root.fanout(), 0),
-                 fmt_num(tree_depth(tree.root), 0),
-                 fmt_num(bar.per_iter_max.median, 0),
-                 fmt_num(bc.per_iter_max.median, 0),
-                 fmt_num(rd.per_iter_max.median, 0)});
+      configs.emplace_back(cm, mm);
     }
+  }
+  // Parallelism is across configs; each config's own fit/runs stay serial.
+  const std::vector<ConfigRow> rows = exec::parallel_map<ConfigRow>(
+      static_cast<int>(configs.size()), jobs, [&](int i) {
+        const auto [cm, mm] = configs[static_cast<std::size_t>(i)];
+        MachineConfig cfg = knl7210(cm, mm);
+        if (mm != MemoryMode::kFlat) cfg.scale_memory(64);
+        bench::SuiteOptions so;
+        so.run.iters = fit_iters;
+        const CapabilityModel m = fit_cache_model(cfg, so);
+        const MemKind cell_kind =
+            mm == MemoryMode::kCache ? MemKind::kDDR : MemKind::kMCDRAM;
+        const TunedTree tree = optimize_tree(
+            m, cfg.active_tiles, TreeKind::kBroadcast, cell_kind);
+        coll::HarnessOptions ho;
+        ho.iters = iters;
+        ho.cell_kind = cell_kind;
+        const auto bar = coll::run_collective(
+            cfg, coll::Algo::kTunedBarrier, nthreads, &m, ho);
+        const auto bc = coll::run_collective(
+            cfg, coll::Algo::kTunedBroadcast, nthreads, &m, ho);
+        const auto rd = coll::run_collective(
+            cfg, coll::Algo::kTunedReduce, nthreads, &m, ho);
+        ConfigRow row;
+        row.cm = cm;
+        row.mm = mm;
+        row.errors = bar.errors + bc.errors + rd.errors;
+        row.cells = {to_string(cm), to_string(mm), fmt_num(m.r_remote, 0),
+                     fmt_num(m.r_mem(cell_kind), 0),
+                     fmt_num(m.contention.beta, 1),
+                     fmt_num(tree.root.fanout(), 0),
+                     fmt_num(tree_depth(tree.root), 0),
+                     fmt_num(bar.per_iter_max.median, 0),
+                     fmt_num(bc.per_iter_max.median, 0),
+                     fmt_num(rd.per_iter_max.median, 0)};
+        return row;
+      });
+  for (const ConfigRow& row : rows) {
+    if (row.errors != 0) {
+      std::cout << "!! validation errors in " << to_string(row.cm) << "/"
+                << to_string(row.mm) << "\n";
+      return 1;
+    }
+    t.add_row(row.cells);
   }
   benchbin::emit(t);
   std::cout << "Paper reference: differences between configuration modes "

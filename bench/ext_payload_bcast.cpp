@@ -9,6 +9,7 @@
 #include "coll/harness.hpp"
 #include "coll/payload_bcast.hpp"
 #include "common/ascii_plot.hpp"
+#include "exec/experiment.hpp"
 #include "model/fit.hpp"
 
 using namespace capmem;
@@ -50,11 +51,13 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 51));
   const int nthreads = static_cast<int>(cli.get_int("threads", 64));
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   const MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
   bench::SuiteOptions so;
   so.run.iters = 21;
+  so.jobs = jobs;
   const CapabilityModel m = fit_cache_model(cfg, so);
   std::cout << "multi-line law: " << fmt_num(m.multiline.alpha, 0) << " + "
             << fmt_num(m.multiline.beta, 2) << "*lines ns (r2="
@@ -66,12 +69,32 @@ int main(int argc, char** argv) {
                 "model best", "flat measured", "speedup"});
   PlotSeries tuned_s{"tuned", {}, {}}, flat_s{"flat", {}, {}};
   const int tiles = std::min(nthreads, cfg.active_tiles);
-  for (std::uint64_t bytes : {kLineBytes, KiB(1), KiB(4), KiB(16), KiB(64)}) {
-    const int lines = static_cast<int>(lines_for(bytes));
-    const TunedTree tree = optimize_tree(m, tiles, TreeKind::kBroadcast,
-                                         MemKind::kMCDRAM, lines);
-    const double tuned = measure(cfg, nthreads, iters, bytes, &tree);
-    const double flat = measure(cfg, nthreads, iters, bytes, nullptr);
+  const std::vector<std::uint64_t> all_bytes{kLineBytes, KiB(1), KiB(4),
+                                             KiB(16), KiB(64)};
+  // Trees are optimized serially (pure model arithmetic); the tuned/flat
+  // measurements per size fan out through the exec layer.
+  std::vector<TunedTree> trees;
+  for (std::uint64_t bytes : all_bytes) {
+    trees.push_back(optimize_tree(m, tiles, TreeKind::kBroadcast,
+                                  MemKind::kMCDRAM,
+                                  static_cast<int>(lines_for(bytes))));
+  }
+  struct Measured {
+    double tuned, flat;
+  };
+  const std::vector<Measured> measured = exec::parallel_map<Measured>(
+      static_cast<int>(all_bytes.size()), jobs, [&](int i) {
+        const std::uint64_t bytes = all_bytes[static_cast<std::size_t>(i)];
+        return Measured{
+            measure(cfg, nthreads, iters, bytes,
+                    &trees[static_cast<std::size_t>(i)]),
+            measure(cfg, nthreads, iters, bytes, nullptr)};
+      });
+  for (std::size_t i = 0; i < all_bytes.size(); ++i) {
+    const std::uint64_t bytes = all_bytes[i];
+    const TunedTree& tree = trees[i];
+    const double tuned = measured[i].tuned;
+    const double flat = measured[i].flat;
     t.add_row({fmt_num(static_cast<double>(bytes), 0),
                fmt_num(tree.root.fanout(), 0),
                fmt_num(tree_depth(tree.root), 0), fmt_num(tuned, 0),

@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "common/ascii_plot.hpp"
+#include "exec/experiment.hpp"
 #include "model/fit.hpp"
 #include "sort/harness.hpp"
 
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
       cli.get_int("large_mb", 64, "large input size (paper: 1024)"));
   const bool full_sweep =
       cli.get_flag("full_sweep", false, "all thread counts at every size");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   const MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
@@ -33,29 +35,35 @@ int main(int argc, char** argv) {
   // at full-chip threads) instead of the whole stream suite.
   bench::SuiteOptions sopts;
   sopts.run.iters = fit_iters;
+  sopts.jobs = jobs;
   model::CapabilityModel caps = model::fit_cache_model(cfg, sopts);
+  // Four independent anchor measurements (1-thread and aggregate copy per
+  // memory kind) fan out through the exec layer.
+  const std::vector<double> anchors = exec::parallel_map<double>(
+      4, jobs, [&](int i) {
+        const MemKind kind = i / 2 == 0 ? MemKind::kDDR : MemKind::kMCDRAM;
+        bench::StreamConfig sc;
+        sc.kind = kind;
+        sc.run.iters = 5;
+        sc.buffer_bytes = KiB(256);
+        sc.nthreads = i % 2 == 0
+                          ? 1
+                          : (kind == MemKind::kDDR ? 16 : cfg.cores());
+        return bench::stream_bench(cfg, bench::StreamOp::kCopy, sc)
+            .gbps.median;
+      });
   for (int ki = 0; ki < 2; ++ki) {
-    const MemKind kind = ki == 0 ? MemKind::kDDR : MemKind::kMCDRAM;
-    bench::StreamConfig sc;
-    sc.kind = kind;
-    sc.run.iters = 5;
-    sc.buffer_bytes = KiB(256);
-    sc.nthreads = 1;
-    const double one =
-        bench::stream_bench(cfg, bench::StreamOp::kCopy, sc).gbps.median;
-    sc.nthreads = kind == MemKind::kDDR ? 16 : cfg.cores();
-    const double agg =
-        bench::stream_bench(cfg, bench::StreamOp::kCopy, sc).gbps.median;
-    auto& law = kind == MemKind::kDDR ? caps.bw_dram : caps.bw_mcdram;
-    law.per_thread_gbps = one / 2.0;  // copy counts read+write bytes
-    law.aggregate_gbps = agg / 2.0;
+    auto& law = ki == 0 ? caps.bw_dram : caps.bw_mcdram;
+    law.per_thread_gbps =
+        anchors[static_cast<std::size_t>(ki * 2)] / 2.0;  // copy: R+W bytes
+    law.aggregate_gbps = anchors[static_cast<std::size_t>(ki * 2 + 1)] / 2.0;
   }
 
   SortOptions so;
   so.kind = MemKind::kMCDRAM;
   const std::vector<int> fit_threads{1, 2, 4, 8, 16, 32, 64, 128, 256};
   const model::SortModel sm =
-      make_sort_model(cfg, caps, so.kind, fit_threads, so);
+      make_sort_model(cfg, caps, so.kind, fit_threads, so, jobs);
   std::cout << "overhead model: " << fmt_num(sm.overhead().alpha, 0) << " + "
             << fmt_num(sm.overhead().beta, 1) << "*threads\n\n";
 
@@ -74,7 +82,7 @@ int main(int argc, char** argv) {
   }
 
   for (const Size& sz : sizes) {
-    const SortCurves c = sort_sweep(cfg, sm, sz.bytes, sz.threads, so);
+    const SortCurves c = sort_sweep(cfg, sm, sz.bytes, sz.threads, so, jobs);
     Table t(std::string("Figure 10 — sorting ") + sz.label +
             " (SNC4-flat, MCDRAM) [ns]");
     t.set_header({"threads", "measured", "mem model (lat)",
@@ -115,18 +123,34 @@ int main(int argc, char** argv) {
 
   // The paper's headline: MCDRAM does not improve this sort over DRAM.
   std::cout << "== MCDRAM vs DRAM (4 MB and " << large_mb << " MB) ==\n";
+  struct ComparePoint {
+    std::uint64_t bytes;
+    int n;
+  };
+  std::vector<ComparePoint> cpoints;
   for (std::uint64_t bytes : {MiB(4), MiB(large_mb)}) {
-    for (int n : {64, 256}) {
-      SortOptions d = so;
-      d.kind = MemKind::kDDR;
-      const double td = parallel_merge_sort(cfg, bytes, n, d).total_ns;
-      SortOptions m2 = so;
-      m2.kind = MemKind::kMCDRAM;
-      const double tm = parallel_merge_sort(cfg, bytes, n, m2).total_ns;
-      std::cout << bytes / MiB(1) << " MB, " << n
-                << " threads: DRAM/MCDRAM = " << fmt_num(td / tm, 3)
-                << " (paper: ~1, MCDRAM does not help)\n";
-    }
+    for (int n : {64, 256}) cpoints.push_back({bytes, n});
+  }
+  struct CompareResult {
+    double td, tm;
+  };
+  const std::vector<CompareResult> cmps =
+      exec::parallel_map<CompareResult>(
+          static_cast<int>(cpoints.size()), jobs, [&](int i) {
+            const ComparePoint& p = cpoints[static_cast<std::size_t>(i)];
+            SortOptions d = so;
+            d.kind = MemKind::kDDR;
+            SortOptions m2 = so;
+            m2.kind = MemKind::kMCDRAM;
+            return CompareResult{
+                parallel_merge_sort(cfg, p.bytes, p.n, d).total_ns,
+                parallel_merge_sort(cfg, p.bytes, p.n, m2).total_ns};
+          });
+  for (std::size_t i = 0; i < cpoints.size(); ++i) {
+    std::cout << cpoints[i].bytes / MiB(1) << " MB, " << cpoints[i].n
+              << " threads: DRAM/MCDRAM = "
+              << fmt_num(cmps[i].td / cmps[i].tm, 3)
+              << " (paper: ~1, MCDRAM does not help)\n";
   }
   return 0;
 }

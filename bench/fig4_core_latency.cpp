@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 31));
   const std::string mode_s = cli.get_string("mode", "SNC4");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   const MachineConfig cfg =
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
   opts.run.iters = iters;
   const auto series = c2c_latency_per_core(
       cfg, /*origin=*/0, {PrepState::kM, PrepState::kE, PrepState::kI},
-      opts);
+      opts, jobs);
 
   Table t("Figure 4 — per-core transfer latency, core 0 reading (" + mode_s +
           "-flat)");

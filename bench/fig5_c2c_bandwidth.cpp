@@ -30,6 +30,7 @@ int core_in_domain(const MachineConfig& cfg, const Topology& topo,
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 21));
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kCache);
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
     for (const auto& p : places) {
       if (p.victim < 0) continue;
       const Series s = multiline_size_sweep(cfg, p.victim, probe, sizes,
-                                            XferOp::kCopy, st, opts);
+                                            XferOp::kCopy, st, opts, jobs);
       benchbin::series_rows(
           t, s, std::string(to_string(st)) + "-" + p.name, 2);
     }

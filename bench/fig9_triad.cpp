@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 5));
   const std::string mode_s = cli.get_string("mode", "SNC4");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   const MachineConfig cfg =
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
       sc.run.iters = iters;
       sc.buffer_bytes = KiB(256);
       const Series s = stream_thread_sweep(cfg, StreamOp::kTriad, sc,
-                                           threads);
+                                           threads, jobs);
       const std::string label =
           std::string(to_string(kind)) + "/" + to_string(sched);
       benchbin::series_rows(t, s, label, 0);

@@ -24,12 +24,14 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
   const int fit_iters =
       static_cast<int>(cli.get_int("fit_iters", 31, "model-fit iterations"));
   const std::string mode_s = cli.get_string("mode", "SNC4");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   const MachineConfig cfg =
       knl7210(cluster_mode_from_string(mode_s), MemoryMode::kFlat);
   bench::SuiteOptions sopts;
   sopts.run.iters = fit_iters;
+  sopts.jobs = jobs;
   const model::CapabilityModel m = model::fit_cache_model(cfg, sopts);
 
   const std::vector<int> threads{2, 4, 8, 16, 32, 64, 128, 256};
@@ -44,15 +46,25 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
     std::vector<PlotSeries> plots;
     PlotSeries band_lo{"model best", {}, {}};
     PlotSeries band_hi{"model worst", {}, {}};
+    coll::HarnessOptions ho;
+    ho.iters = iters;
+    ho.sched = sched;
+    // All (algorithm, thread-count) cells fan out through the exec layer.
+    std::vector<coll::SweepPoint> points;
+    for (coll::Algo a : algos) {
+      for (int n : threads) {
+        if (n > cfg.hw_threads()) continue;
+        points.push_back({a, n});
+      }
+    }
+    const std::vector<coll::CollResult> results =
+        coll::run_collective_sweep(cfg, points, &m, ho, jobs);
+    std::size_t idx = 0;
     for (coll::Algo a : algos) {
       PlotSeries ps{coll::to_string(a), {}, {}};
       for (int n : threads) {
         if (n > cfg.hw_threads()) continue;
-        coll::HarnessOptions ho;
-        ho.iters = iters;
-        ho.sched = sched;
-        const coll::CollResult r =
-            coll::run_collective(cfg, a, n, &m, ho);
+        const coll::CollResult& r = results[idx++];
         total_errors += r.errors;
         ps.xs.push_back(n);
         ps.ys.push_back(r.per_iter_max.median);
@@ -87,21 +99,24 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
       std::cout << "!! validation errors: " << total_errors << "\n";
       return 1;
     }
-    // Speedup summary at the paper's headline points.
+    // Speedup summary at the paper's headline points (batched the same way).
+    std::vector<coll::SweepPoint> headline;
     for (int n : {64, 256}) {
       if (n > cfg.hw_threads()) continue;
-      coll::HarnessOptions ho;
-      ho.iters = iters;
-      ho.sched = sched;
-      const double tu =
-          coll::run_collective(cfg, tuned, n, &m, ho).per_iter_max.median;
-      const double om =
-          coll::run_collective(cfg, omp, n, &m, ho).per_iter_max.median;
-      const double mp =
-          coll::run_collective(cfg, mpi, n, &m, ho).per_iter_max.median;
-      std::cout << "speedup @" << n << " threads (" << to_string(sched)
-                << "): " << fmt_num(om / tu, 1) << "x over OpenMP, "
-                << fmt_num(mp / tu, 1) << "x over MPI\n";
+      headline.push_back({tuned, n});
+      headline.push_back({omp, n});
+      headline.push_back({mpi, n});
+    }
+    const std::vector<coll::CollResult> head_results =
+        coll::run_collective_sweep(cfg, headline, &m, ho, jobs);
+    for (std::size_t h = 0; h + 2 < head_results.size(); h += 3) {
+      const double tu = head_results[h].per_iter_max.median;
+      const double om = head_results[h + 1].per_iter_max.median;
+      const double mp = head_results[h + 2].per_iter_max.median;
+      std::cout << "speedup @" << headline[h].nthreads << " threads ("
+                << to_string(sched) << "): " << fmt_num(om / tu, 1)
+                << "x over OpenMP, " << fmt_num(mp / tu, 1)
+                << "x over MPI\n";
     }
   }
   std::cout << paper_ref << "\n";

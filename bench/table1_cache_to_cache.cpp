@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
       "iters", 51, "iterations per experiment (paper: 1000)"));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   Table t("Table I — cache-to-cache (flat memory)");
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
     opts.run.iters = iters;
     opts.run.seed = seed;
     opts.streams = false;
+    opts.jobs = jobs;
     results.push_back(run_suite(knl7210(mode, MemoryMode::kFlat), opts));
   }
 

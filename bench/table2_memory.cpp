@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   const std::uint64_t cache_scale = static_cast<std::uint64_t>(cli.get_int(
       "cache_scale", 64,
       "memory scale divisor for cache-mode runs (footprint realism)"));
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   for (MemoryMode mem : {MemoryMode::kFlat, MemoryMode::kCache}) {
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
       SuiteOptions opts;
       opts.run.iters = iters;
       opts.fast = fast;
+      opts.jobs = jobs;
       results.push_back(run_suite(cfg, opts));
     }
 

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const std::string memory = cli.get_string("memory", "flat");
   const int iters = static_cast<int>(cli.get_int("iters", 21));
   const std::string save = cli.get_string("save", "", "model output file");
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   // 1. The machine under test.
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
   // 2 + 3. Measure and fit (cache half only: a few seconds).
   bench::SuiteOptions opts;
   opts.run.iters = iters;
+  opts.jobs = jobs;
   const model::CapabilityModel m = model::fit_cache_model(cfg, opts);
 
   Table t("fitted capability model");

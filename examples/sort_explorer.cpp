@@ -8,6 +8,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "exec/experiment.hpp"
 #include "model/efficiency.hpp"
 #include "model/fit.hpp"
 #include "sort/harness.hpp"
@@ -21,28 +22,33 @@ int main(int argc, char** argv) {
   const std::uint64_t bytes =
       MiB(static_cast<std::uint64_t>(cli.get_int("bytes_mb", 16)));
   const int threads = static_cast<int>(cli.get_int("threads", 64));
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   const MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
   bench::SuiteOptions sopts;
   sopts.run.iters = 21;
+  sopts.jobs = jobs;
   model::CapabilityModel caps = model::fit_cache_model(cfg, sopts);
-  // Minimal bandwidth anchor (copy at 1 / saturated thread counts).
+  // Minimal bandwidth anchor (copy at 1 / saturated thread counts); the
+  // four measurements fan out through the exec layer.
+  const std::vector<double> anchors = exec::parallel_map<double>(
+      4, jobs, [&](int i) {
+        const MemKind kind = i / 2 == 0 ? MemKind::kDDR : MemKind::kMCDRAM;
+        bench::StreamConfig sc;
+        sc.kind = kind;
+        sc.run.iters = 5;
+        sc.buffer_bytes = KiB(256);
+        sc.nthreads = i % 2 == 0
+                          ? 1
+                          : (kind == MemKind::kDDR ? 16 : cfg.cores());
+        return bench::stream_bench(cfg, bench::StreamOp::kCopy, sc)
+            .gbps.median;
+      });
   for (int ki = 0; ki < 2; ++ki) {
-    const MemKind kind = ki == 0 ? MemKind::kDDR : MemKind::kMCDRAM;
-    bench::StreamConfig sc;
-    sc.kind = kind;
-    sc.run.iters = 5;
-    sc.buffer_bytes = KiB(256);
-    sc.nthreads = 1;
-    const double one =
-        bench::stream_bench(cfg, bench::StreamOp::kCopy, sc).gbps.median;
-    sc.nthreads = kind == MemKind::kDDR ? 16 : cfg.cores();
-    const double agg =
-        bench::stream_bench(cfg, bench::StreamOp::kCopy, sc).gbps.median;
-    auto& law = kind == MemKind::kDDR ? caps.bw_dram : caps.bw_mcdram;
-    law.per_thread_gbps = one / 2.0;
-    law.aggregate_gbps = agg / 2.0;
+    auto& law = ki == 0 ? caps.bw_dram : caps.bw_mcdram;
+    law.per_thread_gbps = anchors[static_cast<std::size_t>(ki * 2)] / 2.0;
+    law.aggregate_gbps = anchors[static_cast<std::size_t>(ki * 2 + 1)] / 2.0;
   }
   std::cout << "bandwidth law: DRAM "
             << fmt_num(caps.bw_dram.per_thread_gbps, 1) << " GB/s/thread -> "
@@ -52,7 +58,7 @@ int main(int argc, char** argv) {
 
   SortOptions so;
   const model::SortModel sm =
-      make_sort_model(cfg, caps, MemKind::kMCDRAM, {1, 4, 16, 64}, so);
+      make_sort_model(cfg, caps, MemKind::kMCDRAM, {1, 4, 16, 64}, so, jobs);
 
   Table t("sorting " + std::to_string(bytes / MiB(1)) + " MB with " +
           std::to_string(threads) + " threads");

@@ -20,12 +20,14 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(cli.get_int("threads", 64));
   const std::string cluster = cli.get_string("cluster", "SNC4");
   const int iters = static_cast<int>(cli.get_int("iters", 101));
+  const int jobs = cli.get_jobs();
   cli.finish();
 
   const MachineConfig cfg =
       knl7210(cluster_mode_from_string(cluster), MemoryMode::kFlat);
   bench::SuiteOptions sopts;
   sopts.run.iters = 21;
+  sopts.jobs = jobs;
   const CapabilityModel m = fit_cache_model(cfg, sopts);
 
   // What the optimizer decides, and why.
@@ -59,10 +61,14 @@ int main(int argc, char** argv) {
       coll::Algo::kOmpBroadcast, coll::Algo::kOmpReduce,
       coll::Algo::kMpiBarrier,   coll::Algo::kMpiBroadcast,
       coll::Algo::kMpiReduce};
+  coll::HarnessOptions ho;
+  ho.iters = iters;
+  std::vector<coll::SweepPoint> points;
+  for (int i = 0; i < 9; ++i) points.push_back({algos[i], threads});
+  const std::vector<coll::CollResult> results =
+      coll::run_collective_sweep(cfg, points, &m, ho, jobs);
   for (int i = 0; i < 9; ++i) {
-    coll::HarnessOptions ho;
-    ho.iters = iters;
-    const auto r = coll::run_collective(cfg, algos[i], threads, &m, ho);
+    const coll::CollResult& r = results[static_cast<std::size_t>(i)];
     if (r.errors != 0) {
       std::cerr << "validation failed for " << coll::to_string(algos[i])
                 << "\n";

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "exec/experiment.hpp"
 #include "sim/machine.hpp"
 
 namespace capmem::bench {
@@ -127,15 +128,35 @@ Summary c2c_read_latency(const sim::MachineConfig& cfg, int victim_core,
 std::vector<Series> c2c_latency_per_core(const sim::MachineConfig& cfg,
                                          int origin,
                                          std::vector<PrepState> states,
-                                         const C2COptions& opts) {
+                                         const C2COptions& opts, int jobs) {
+  // Enumerate the (state, victim core) grid up front so the cells can fan
+  // out as independent jobs; the series are then assembled in grid order.
+  struct Cell {
+    PrepState state;
+    int core;
+  };
+  std::vector<Cell> cells;
+  for (PrepState st : states) {
+    for (int core = 0; core < cfg.cores(); ++core) {
+      if (core == origin) continue;
+      cells.push_back({st, core});
+    }
+  }
+  const std::vector<Summary> measured = exec::parallel_map<Summary>(
+      static_cast<int>(cells.size()), jobs, [&](int i) {
+        const Cell& c = cells[static_cast<std::size_t>(i)];
+        return c2c_read_latency(cfg, /*victim=*/c.core, /*probe=*/origin,
+                                c.state, opts);
+      });
+
   std::vector<Series> out;
+  std::size_t idx = 0;
   for (PrepState st : states) {
     Series s;
     s.name = to_string(st);
     for (int core = 0; core < cfg.cores(); ++core) {
       if (core == origin) continue;
-      s.add(core, c2c_read_latency(cfg, /*victim=*/core, /*probe=*/origin,
-                                   st, opts));
+      s.add(core, measured[idx++]);
     }
     out.push_back(std::move(s));
   }

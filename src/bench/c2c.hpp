@@ -33,10 +33,13 @@ Summary c2c_read_latency(const sim::MachineConfig& cfg, int victim_core,
                          const C2COptions& opts = {});
 
 /// Figure 4: latency of core `origin` reading a line in every other core's
-/// cache, per state. Returns one Series per state with x = core id.
+/// cache, per state. Returns one Series per state with x = core id. Each
+/// (state, core) cell is an isolated simulation and runs on `jobs` host
+/// threads (exec layer); results are bit-identical for any jobs value.
 std::vector<Series> c2c_latency_per_core(const sim::MachineConfig& cfg,
                                          int origin,
                                          std::vector<PrepState> states,
-                                         const C2COptions& opts = {});
+                                         const C2COptions& opts = {},
+                                         int jobs = 1);
 
 }  // namespace capmem::bench

@@ -1,6 +1,7 @@
 #include "bench/multiline.hpp"
 
 #include "common/check.hpp"
+#include "exec/experiment.hpp"
 #include "sim/machine.hpp"
 
 namespace capmem::bench {
@@ -75,13 +76,17 @@ Series multiline_size_sweep(const sim::MachineConfig& cfg, int victim_core,
                             int probe_core,
                             const std::vector<std::uint64_t>& sizes,
                             XferOp op, PrepState state,
-                            const MultilineOptions& opts) {
+                            const MultilineOptions& opts, int jobs) {
   Series s;
   s.name = std::string(to_string(op)) + "-" + to_string(state);
-  for (std::uint64_t bytes : sizes) {
-    s.add(static_cast<double>(bytes),
-          multiline_bw(cfg, victim_core, probe_core, bytes, op, state,
-                       opts));
+  const std::vector<Summary> measured = exec::parallel_map<Summary>(
+      static_cast<int>(sizes.size()), jobs, [&](int i) {
+        return multiline_bw(cfg, victim_core, probe_core,
+                            sizes[static_cast<std::size_t>(i)], op, state,
+                            opts);
+      });
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    s.add(static_cast<double>(sizes[i]), measured[i]);
   }
   return s;
 }

@@ -31,11 +31,13 @@ Summary multiline_bw(const sim::MachineConfig& cfg, int victim_core,
                      int probe_core, std::uint64_t bytes, XferOp op,
                      PrepState state, const MultilineOptions& opts = {});
 
-/// Size sweep; x = message bytes.
+/// Size sweep; x = message bytes. Each point is an isolated simulation and
+/// runs on `jobs` host threads (exec layer); results are bit-identical for
+/// any jobs value.
 Series multiline_size_sweep(const sim::MachineConfig& cfg, int victim_core,
                             int probe_core,
                             const std::vector<std::uint64_t>& sizes,
                             XferOp op, PrepState state,
-                            const MultilineOptions& opts = {});
+                            const MultilineOptions& opts = {}, int jobs = 1);
 
 }  // namespace capmem::bench

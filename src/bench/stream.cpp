@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "exec/experiment.hpp"
 #include "sim/machine.hpp"
 
 namespace capmem::bench {
@@ -148,15 +149,21 @@ StreamResult stream_bench(const sim::MachineConfig& cfg, StreamOp op,
 
 Series stream_thread_sweep(const sim::MachineConfig& cfg, StreamOp op,
                            StreamConfig sc,
-                           const std::vector<int>& thread_counts) {
+                           const std::vector<int>& thread_counts,
+                           int jobs) {
   Series s;
   s.name = std::string(to_string(op)) + "-" +
            std::string(sim::to_string(sc.kind)) + "-" +
            sim::to_string(sc.sched);
-  for (int n : thread_counts) {
-    sc.nthreads = n;
-    const StreamResult r = stream_bench(cfg, op, sc);
-    s.add(n, r.gbps);
+  const std::vector<StreamResult> results =
+      exec::parallel_map<StreamResult>(
+          static_cast<int>(thread_counts.size()), jobs, [&](int i) {
+            StreamConfig point = sc;
+            point.nthreads = thread_counts[static_cast<std::size_t>(i)];
+            return stream_bench(cfg, op, point);
+          });
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    s.add(thread_counts[i], results[i].gbps);
   }
   return s;
 }

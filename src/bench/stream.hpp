@@ -46,9 +46,12 @@ struct StreamResult {
 StreamResult stream_bench(const sim::MachineConfig& cfg, StreamOp op,
                           const StreamConfig& sc);
 
-/// Thread-count sweep (Fig. 9); x = nthreads.
+/// Thread-count sweep (Fig. 9); x = nthreads. Each point is an isolated
+/// simulation and runs on `jobs` host threads (exec layer); results are
+/// bit-identical for any jobs value.
 Series stream_thread_sweep(const sim::MachineConfig& cfg, StreamOp op,
                            StreamConfig sc,
-                           const std::vector<int>& thread_counts);
+                           const std::vector<int>& thread_counts,
+                           int jobs = 1);
 
 }  // namespace capmem::bench

@@ -1,9 +1,11 @@
 #include "bench/suite.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "exec/pool.hpp"
 
 namespace capmem::bench {
 
@@ -13,28 +15,31 @@ using sim::Schedule;
 
 namespace {
 
-// Pools samples from several victim cores into one Summary plus the
-// min/max-of-medians range.
+// Victim cores sampled for the remote-latency range cells.
+std::vector<int> remote_victims(const sim::MachineConfig& cfg, int samples) {
+  std::vector<int> victims;
+  const int step = std::max(1, cfg.active_tiles / (samples + 1));
+  for (int k = 1; k <= samples; ++k) {
+    const int victim = (k * step % cfg.active_tiles) * cfg.cores_per_tile;
+    if (victim / cfg.cores_per_tile == 0) continue;  // skip probe tile
+    victims.push_back(victim);
+  }
+  return victims;
+}
+
+// Pools the per-victim summaries of one state into one Summary plus the
+// min/max-of-medians range (the paper's "107-122"-style cells).
 struct Pooled {
   Summary pooled;
   Range range;
 };
 
-Pooled pool_remote(const sim::MachineConfig& cfg, PrepState state,
-                   int samples, const C2COptions& copts) {
+Pooled pool_remote(const std::vector<Summary>& per_victim) {
   std::vector<double> meds;
-  std::vector<double> all;
-  const int probe = 0;
-  const int step = std::max(1, cfg.active_tiles / (samples + 1));
-  for (int k = 1; k <= samples; ++k) {
-    const int victim = (k * step % cfg.active_tiles) * cfg.cores_per_tile;
-    if (victim / cfg.cores_per_tile == 0) continue;  // skip probe tile
-    const Summary s = c2c_read_latency(cfg, victim, probe, state, copts);
-    meds.push_back(s.median);
-    all.push_back(s.median);
-  }
+  meds.reserve(per_victim.size());
+  for (const Summary& s : per_victim) meds.push_back(s.median);
   Pooled out;
-  out.pooled = summarize(all);
+  out.pooled = summarize(meds);
   out.range.lo = *std::min_element(meds.begin(), meds.end());
   out.range.hi = *std::max_element(meds.begin(), meds.end());
   return out;
@@ -42,123 +47,219 @@ Pooled pool_remote(const sim::MachineConfig& cfg, PrepState state,
 
 }  // namespace
 
+// The suite is planned as a list of independent experiment cells — every
+// job below builds its own Machine and writes one exclusive slot — then
+// executed on opts.jobs host threads and reduced in planning order. All
+// cell parameters (including seeds) are fixed at planning time, so the
+// results are bit-identical for every jobs value, and identical to the
+// historical serial loop.
 SuiteResults run_suite(const sim::MachineConfig& cfg,
                        const SuiteOptions& opts) {
   SuiteResults r;
   r.cfg = cfg;
-  C2COptions copts;
-  copts.run = opts.run;
+  std::vector<std::function<void()>> jobs;
 
   CAPMEM_LOG_INFO << "suite[" << sim::to_string(cfg.cluster) << "/"
-                  << sim::to_string(cfg.memory) << "]: cache-to-cache";
+                  << sim::to_string(cfg.memory) << "]: planning "
+                  << (opts.jobs == 1 ? "serial" : "parallel") << " run";
+
+  // --- Cache-to-cache latency cells (Table I top half) ---
+  C2COptions copts;
+  copts.run = opts.run;
   // L1: re-read on the same core.
-  r.lat_l1 = c2c_read_latency(cfg, 0, 0, PrepState::kE, copts);
+  jobs.push_back(
+      [&, copts] { r.lat_l1 = c2c_read_latency(cfg, 0, 0, PrepState::kE, copts); });
   // Same tile: victim core 1, probe core 0.
-  r.lat_tile_m = c2c_read_latency(cfg, 1, 0, PrepState::kM, copts);
-  r.lat_tile_e = c2c_read_latency(cfg, 1, 0, PrepState::kE, copts);
-  r.lat_tile_sf = c2c_read_latency(cfg, 1, 0, PrepState::kS, copts);
-  // Remote tiles: several victims for the range cells.
-  {
-    const Pooled m = pool_remote(cfg, PrepState::kM, opts.remote_samples,
-                                 copts);
-    r.lat_remote_m = m.pooled;
-    r.range_remote_m = m.range;
-    const Pooled e = pool_remote(cfg, PrepState::kE, opts.remote_samples,
-                                 copts);
-    r.lat_remote_e = e.pooled;
-    r.range_remote_e = e.range;
-    const Pooled sf = pool_remote(cfg, PrepState::kF, opts.remote_samples,
-                                  copts);
-    r.lat_remote_sf = sf.pooled;
-    r.range_remote_sf = sf.range;
+  jobs.push_back([&, copts] {
+    r.lat_tile_m = c2c_read_latency(cfg, 1, 0, PrepState::kM, copts);
+  });
+  jobs.push_back([&, copts] {
+    r.lat_tile_e = c2c_read_latency(cfg, 1, 0, PrepState::kE, copts);
+  });
+  jobs.push_back([&, copts] {
+    r.lat_tile_sf = c2c_read_latency(cfg, 1, 0, PrepState::kS, copts);
+  });
+  // Remote tiles: several victims per state for the range cells.
+  const std::vector<int> victims =
+      remote_victims(cfg, opts.remote_samples);
+  CAPMEM_CHECK_MSG(!victims.empty(), "no remote victim tiles to sample");
+  const PrepState remote_states[3] = {PrepState::kM, PrepState::kE,
+                                      PrepState::kF};
+  std::vector<Summary> remote_slots[3];
+  for (int si = 0; si < 3; ++si) {
+    remote_slots[si].resize(victims.size());
+    for (std::size_t vi = 0; vi < victims.size(); ++vi) {
+      jobs.push_back([&, copts, si, vi] {
+        remote_slots[si][vi] = c2c_read_latency(
+            cfg, victims[vi], /*probe=*/0, remote_states[si], copts);
+      });
+    }
   }
 
-  CAPMEM_LOG_INFO << "suite: multi-line transfers";
+  // --- Multi-line transfers (Table I bandwidth cells) ---
   MultilineOptions mopts;
   mopts.run = opts.run;
   const int remote_core =
       (cfg.active_tiles / 2) * cfg.cores_per_tile;  // far tile
   const std::uint64_t msg = KiB(64);
-  r.bw_read_remote =
-      multiline_bw(cfg, remote_core, 0, msg, XferOp::kRead, PrepState::kE,
-                   mopts);
-  r.bw_copy_remote =
-      multiline_bw(cfg, remote_core, 0, msg, XferOp::kCopy, PrepState::kE,
-                   mopts);
-  r.bw_copy_tile_m =
-      multiline_bw(cfg, 1, 0, msg, XferOp::kCopy, PrepState::kM, mopts);
-  r.bw_copy_tile_e =
-      multiline_bw(cfg, 1, 0, msg, XferOp::kCopy, PrepState::kE, mopts);
+  jobs.push_back([&, mopts] {
+    r.bw_read_remote = multiline_bw(cfg, remote_core, 0, msg, XferOp::kRead,
+                                    PrepState::kE, mopts);
+  });
+  jobs.push_back([&, mopts] {
+    r.bw_copy_remote = multiline_bw(cfg, remote_core, 0, msg, XferOp::kCopy,
+                                    PrepState::kE, mopts);
+  });
+  jobs.push_back([&, mopts] {
+    r.bw_copy_tile_m =
+        multiline_bw(cfg, 1, 0, msg, XferOp::kCopy, PrepState::kM, mopts);
+  });
+  jobs.push_back([&, mopts] {
+    r.bw_copy_tile_e =
+        multiline_bw(cfg, 1, 0, msg, XferOp::kCopy, PrepState::kE, mopts);
+  });
+  // Size sweep for the alpha + beta*N multi-line law.
+  const std::uint64_t sweep_bytes[4] = {kLineBytes, KiB(1), KiB(8), KiB(64)};
+  Summary sweep_slots[4];
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back([&, mopts, i] {
+      sweep_slots[i] = multiline_bw(cfg, remote_core, 0, sweep_bytes[i],
+                                    XferOp::kCopy, PrepState::kM, mopts);
+    });
+  }
+
+  // --- Contention / congestion ---
+  ContentionOptions cnopts;
+  cnopts.run = opts.run;
+  std::vector<Summary> cont_slots(opts.contention_ns.size());
+  for (std::size_t i = 0; i < opts.contention_ns.size(); ++i) {
+    jobs.push_back([&, cnopts, i] {
+      cont_slots[i] = contention_point(cfg, opts.contention_ns[i], cnopts);
+    });
+  }
+  CongestionOptions cgopts;
+  cgopts.run = opts.run;  // one RunOpts threaded through, then adjusted
+  cgopts.run.iters = std::max(11, opts.run.iters / 4);
+  const std::vector<int> pair_counts{1, 2, 4,
+                                     std::max(4, cfg.active_tiles / 4)};
+  std::vector<Summary> cong_slots(pair_counts.size());
+  for (std::size_t i = 0; i < pair_counts.size(); ++i) {
+    jobs.push_back([&, cgopts, i] {
+      cong_slots[i] = congestion_point(cfg, pair_counts[i], cgopts);
+    });
+  }
+
+  // --- Memory latency (Table II) ---
+  MemLatencyOptions lopts;
+  lopts.run = opts.run;
+  jobs.push_back(
+      [&, lopts] { r.mem_lat_dram = memory_latency(cfg, MemKind::kDDR, lopts); });
+  if (cfg.memory != MemoryMode::kCache) {
+    jobs.push_back([&, lopts] {
+      r.mem_lat_mcdram = memory_latency(cfg, MemKind::kMCDRAM, lopts);
+    });
+  }
+
+  // --- Stream kernels (Table II bandwidth) ---
+  const StreamOp ops[4] = {StreamOp::kCopy, StreamOp::kRead,
+                           StreamOp::kWrite, StreamOp::kTriad};
+  if (opts.streams) {
+    const bool flat_kinds = cfg.memory != MemoryMode::kCache;
+    r.has_mcdram_streams = flat_kinds;
+    r.has_streams = true;
+    for (int oi = 0; oi < 4; ++oi) {
+      for (int ki = 0; ki < (flat_kinds ? 2 : 1); ++ki) {
+        const MemKind kind = ki == 0 ? MemKind::kDDR : MemKind::kMCDRAM;
+        StreamConfig sc;
+        sc.kind = kind;
+        sc.run = opts.run;  // one RunOpts threaded through, then adjusted
+        if (opts.fast) {
+          sc.run.iters = 5;
+          sc.buffer_bytes = KiB(128);
+          sc.nthreads = std::min(16, cfg.cores());
+          sc.pool_buffers = 2;
+        } else {
+          sc.run.iters = 9;
+          sc.buffer_bytes = KiB(256);
+          // DRAM saturates with ~16 cores; MCDRAM needs the full chip.
+          sc.nthreads =
+              kind == MemKind::kDDR ? std::min(16, cfg.cores()) : cfg.cores();
+          sc.sched = Schedule::kFillTiles;
+        }
+        sc.nt = true;
+        StreamConfig nt_random = sc;
+        nt_random.randomize = true;
+        StreamConfig stream_peak = sc;
+        stream_peak.randomize = false;  // classic STREAM: fixed buffers
+        jobs.push_back([&, oi, ki, nt_random] {
+          r.stream[oi][ki].nt_random = stream_bench(cfg, ops[oi], nt_random);
+        });
+        jobs.push_back([&, oi, ki, stream_peak] {
+          r.stream[oi][ki].stream_peak =
+              stream_bench(cfg, ops[oi], stream_peak);
+        });
+        if (ops[oi] == StreamOp::kCopy) {
+          StreamConfig one = nt_random;
+          one.nthreads = 1;
+          jobs.push_back([&, ki, one] {
+            r.copy_1thread[ki] = stream_bench(cfg, StreamOp::kCopy, one);
+          });
+        }
+      }
+    }
+  }
+
+  // --- Execute ---
+  CAPMEM_LOG_INFO << "suite: running " << jobs.size() << " cells on "
+                  << std::max(1, opts.jobs) << " worker(s)";
+  exec::run_jobs(std::move(jobs), opts.jobs);
+
+  // --- Reduce (planning order; pure functions of the slot values) ---
+  for (int si = 0; si < 3; ++si) {
+    const Pooled p = pool_remote(remote_slots[si]);
+    switch (remote_states[si]) {
+      case PrepState::kM:
+        r.lat_remote_m = p.pooled;
+        r.range_remote_m = p.range;
+        break;
+      case PrepState::kE:
+        r.lat_remote_e = p.pooled;
+        r.range_remote_e = p.range;
+        break;
+      default:
+        r.lat_remote_sf = p.pooled;
+        r.range_remote_sf = p.range;
+        break;
+    }
+  }
   {
-    // Size sweep for the alpha + beta*N multi-line law.
     std::vector<double> xs, ys;
-    for (std::uint64_t bytes : {kLineBytes, KiB(1), KiB(8), KiB(64)}) {
-      const Summary gbps = multiline_bw(cfg, remote_core, 0, bytes,
-                                        XferOp::kCopy, PrepState::kM, mopts);
-      xs.push_back(static_cast<double>(lines_for(bytes)));
-      ys.push_back(static_cast<double>(bytes) / gbps.median);  // ns
+    for (int i = 0; i < 4; ++i) {
+      xs.push_back(static_cast<double>(lines_for(sweep_bytes[i])));
+      ys.push_back(static_cast<double>(sweep_bytes[i]) /
+                   sweep_slots[i].median);  // ns
     }
     r.multiline_ns = fit_linear(xs, ys);
   }
-
-  CAPMEM_LOG_INFO << "suite: contention / congestion";
-  ContentionOptions cnopts;
-  cnopts.run = opts.run;
-  r.contention = contention_1n(cfg, opts.contention_ns, cnopts);
-  CongestionOptions cgopts;
-  cgopts.run.iters = std::max(11, opts.run.iters / 4);
-  cgopts.run.seed = opts.run.seed;
-  r.congestion =
-      congestion_pairs(cfg, {1, 2, 4, std::max(4, cfg.active_tiles / 4)},
-                       cgopts);
-
-  CAPMEM_LOG_INFO << "suite: memory latency";
-  MemLatencyOptions lopts;
-  lopts.run = opts.run;
-  r.mem_lat_dram = memory_latency(cfg, MemKind::kDDR, lopts);
-  if (cfg.memory != MemoryMode::kCache) {
-    r.mem_lat_mcdram = memory_latency(cfg, MemKind::kMCDRAM, lopts);
+  {
+    r.contention.per_n.name = "contention-1:N";
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < opts.contention_ns.size(); ++i) {
+      r.contention.per_n.add(opts.contention_ns[i], cont_slots[i]);
+      xs.push_back(opts.contention_ns[i]);
+      ys.push_back(cont_slots[i].median);
+    }
+    r.contention.fit = fit_linear(xs, ys);
   }
-
-  if (!opts.streams) return r;
-  CAPMEM_LOG_INFO << "suite: stream kernels";
-  const bool flat_kinds = cfg.memory != MemoryMode::kCache;
-  r.has_mcdram_streams = flat_kinds;
-  r.has_streams = true;
-  const StreamOp ops[4] = {StreamOp::kCopy, StreamOp::kRead,
-                           StreamOp::kWrite, StreamOp::kTriad};
-  for (int oi = 0; oi < 4; ++oi) {
-    for (int ki = 0; ki < (flat_kinds ? 2 : 1); ++ki) {
-      const MemKind kind = ki == 0 ? MemKind::kDDR : MemKind::kMCDRAM;
-      StreamConfig sc;
-      sc.kind = kind;
-      sc.run.seed = opts.run.seed;
-      if (opts.fast) {
-        sc.run.iters = 5;
-        sc.buffer_bytes = KiB(128);
-        sc.nthreads = std::min(16, cfg.cores());
-        sc.pool_buffers = 2;
-      } else {
-        sc.run.iters = 9;
-        sc.buffer_bytes = KiB(256);
-        // DRAM saturates with ~16 cores; MCDRAM needs the full chip.
-        sc.nthreads =
-            kind == MemKind::kDDR ? std::min(16, cfg.cores()) : cfg.cores();
-        sc.sched = Schedule::kFillTiles;
-      }
-      auto& cell = r.stream[oi][ki];
-      sc.nt = true;
-      sc.randomize = true;
-      cell.nt_random = stream_bench(cfg, ops[oi], sc);
-      sc.nt = true;
-      sc.randomize = false;  // classic STREAM protocol: fixed buffers
-      cell.stream_peak = stream_bench(cfg, ops[oi], sc);
-      if (ops[oi] == StreamOp::kCopy) {
-        StreamConfig one = sc;
-        one.nthreads = 1;
-        one.randomize = true;
-        r.copy_1thread[ki] = stream_bench(cfg, StreamOp::kCopy, one);
-      }
+  {
+    r.congestion.latency_vs_pairs.name = "p2p-pairs";
+    for (std::size_t i = 0; i < pair_counts.size(); ++i) {
+      r.congestion.latency_vs_pairs.add(pair_counts[i], cong_slots[i]);
+    }
+    if (r.congestion.latency_vs_pairs.size() >= 2) {
+      const double first = r.congestion.latency_vs_pairs.ys.front().median;
+      const double last = r.congestion.latency_vs_pairs.ys.back().median;
+      r.congestion.ratio = first > 0 ? last / first : 1.0;
     }
   }
   return r;

@@ -28,6 +28,10 @@ struct SuiteOptions {
   /// Skip the (expensive) stream kernels — enough for fitting the
   /// cache-to-cache half of the model (collective tuning).
   bool streams = true;
+  /// Host worker threads for the suite's experiment cells (exec::Pool).
+  /// Every cell is an isolated simulation, so results are bit-identical
+  /// for any value; 1 = serial reference path, 0 = hardware concurrency.
+  int jobs = 1;
 };
 
 /// min/max of medians across sampled victims — the paper's "107-122"-style

@@ -6,6 +6,7 @@
 #include "coll/baseline_omp.hpp"
 #include "coll/tuned.hpp"
 #include "common/check.hpp"
+#include "exec/experiment.hpp"
 #include "sim/machine.hpp"
 
 namespace capmem::coll {
@@ -199,6 +200,23 @@ CollResult run_collective(const sim::MachineConfig& cfg, Algo algo,
   out.per_iter_max = rec.per_iter_max();
   out.errors = rec.errors();
   return out;
+}
+
+std::vector<CollResult> run_collective_sweep(
+    const sim::MachineConfig& cfg, const std::vector<SweepPoint>& points,
+    const model::CapabilityModel* model, const HarnessOptions& opts,
+    int jobs) {
+  exec::Experiment<SweepPoint, CollResult> e;
+  e.configs = points;
+  e.trials = 1;
+  e.base_seed = opts.seed;
+  e.program = [&cfg, model, &opts](const SweepPoint& p,
+                                   const exec::Trial& trial) {
+    HarnessOptions ho = opts;
+    ho.seed = trial.seed;  // per-point seed, stable across jobs values
+    return run_collective(cfg, p.algo, p.nthreads, model, ho);
+  };
+  return exec::run_experiment(e, jobs);
 }
 
 }  // namespace capmem::coll

@@ -73,4 +73,19 @@ CollResult run_collective(const sim::MachineConfig& cfg, Algo algo,
                           int nthreads, const model::CapabilityModel* model,
                           const HarnessOptions& opts = {});
 
+/// One cell of a collective sweep: an algorithm at a thread count.
+struct SweepPoint {
+  Algo algo;
+  int nthreads;
+};
+
+/// Runs every sweep point as one isolated experiment job (exec layer) on
+/// `jobs` host threads; the results come back in point order and are
+/// bit-identical for any jobs value. Each point's HarnessOptions seed is
+/// derived deterministically from (opts.seed, point index).
+std::vector<CollResult> run_collective_sweep(
+    const sim::MachineConfig& cfg, const std::vector<SweepPoint>& points,
+    const model::CapabilityModel* model, const HarnessOptions& opts = {},
+    int jobs = 1);
+
 }  // namespace capmem::coll

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include <thread>
+
 #include "common/check.hpp"
 
 namespace capmem {
@@ -58,6 +60,18 @@ bool Cli::get_flag(const std::string& name, bool def,
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   return it->second != "false" && it->second != "0";
+}
+
+int Cli::get_jobs(int def) {
+  const std::int64_t v = get_int(
+      "jobs", def,
+      "parallel experiment jobs (0 = all hardware threads); results are "
+      "identical for every value");
+  if (v <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return static_cast<int>(v);
 }
 
 void Cli::finish() {

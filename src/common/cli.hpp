@@ -30,6 +30,11 @@ class Cli {
   /// Declares and reads a boolean flag (present => true, or --x=false).
   bool get_flag(const std::string& name, bool def = false,
                 const std::string& help = {});
+  /// Declares and reads the shared `--jobs` option: host worker threads for
+  /// parallel experiment execution (exec::Pool). 0 resolves to the host's
+  /// hardware concurrency; the default 1 is the serial reference path.
+  /// Results are bit-identical for every value.
+  int get_jobs(int def = 1);
 
   /// Validates that every supplied option was declared; prints usage and
   /// exits(0) when --help was given. Call once after all get_* calls.

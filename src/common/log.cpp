@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace capmem {
 
@@ -27,6 +28,9 @@ void log_line(LogLevel level, const std::string& msg) {
     case LogLevel::kInfo: tag = "info"; break;
     case LogLevel::kDebug: tag = "debug"; break;
   }
+  // One mutex so lines from concurrent exec::Pool workers don't interleave.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
   std::cerr << "[capmem:" << tag << "] " << msg << '\n';
 }
 

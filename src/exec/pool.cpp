@@ -1,0 +1,85 @@
+#include "exec/pool.hpp"
+
+#include <algorithm>
+
+namespace capmem::exec {
+
+Pool::Pool(int nworkers) {
+  if (nworkers <= 0) nworkers = default_jobs();
+  workers_.reserve(static_cast<std::size_t>(nworkers));
+  for (int i = 0; i < nworkers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<void> Pool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+int Pool::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+void Pool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || head_ < queue_.size(); });
+      if (head_ >= queue_.size()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_[head_++]);
+      // Drop the drained prefix occasionally so long-lived pools don't
+      // accumulate dead tasks.
+      if (head_ > 64 && head_ * 2 > queue_.size()) {
+        queue_.erase(queue_.begin(),
+                     queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+void run_jobs(std::vector<std::function<void()>>&& jobs, int nworkers) {
+  if (nworkers <= 1) {
+    for (auto& j : jobs) j();
+    return;
+  }
+  Pool pool(std::min<int>(nworkers, static_cast<int>(jobs.size())));
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs.size());
+  for (auto& j : jobs) futs.push_back(pool.submit(std::move(j)));
+  // Wait for everything before rethrowing so no job still references the
+  // caller's slots when run_jobs returns via an exception.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace capmem::exec

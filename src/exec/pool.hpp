@@ -1,0 +1,57 @@
+// Fixed-size worker-thread pool for parallel experiment execution.
+//
+// The simulator is single-threaded by design (one Engine per Machine), but
+// every experiment — a suite cell, a collective run, a sort trial — builds
+// its own isolated Machine, so experiments are embarrassingly parallel
+// across *host* threads. Pool is the one place in the codebase that spawns
+// host threads; everything above it stays deterministic by (a) deriving
+// seeds with exec::derive_seed instead of reading run order, and (b)
+// writing results into pre-sized per-job slots merged in submission order.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace capmem::exec {
+
+class Pool {
+ public:
+  /// Spawns `nworkers` host threads; nworkers <= 0 means default_jobs().
+  explicit Pool(int nworkers = 0);
+  /// Joins all workers. Pending jobs are finished first.
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Enqueues `fn` and returns a future that becomes ready when it has run
+  /// (or rethrows what it threw).
+  std::future<void> submit(std::function<void()> fn);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Host hardware concurrency (>= 1), the `--jobs 0` resolution.
+  static int default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::packaged_task<void()>> queue_;  // FIFO via head index
+  std::size_t head_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs every job in `jobs`. With `nworkers` <= 1 the jobs run inline on
+/// the calling thread, in order — the serial reference path; otherwise they
+/// run on a Pool of `nworkers` threads. Either way the first exception (by
+/// submission order) is rethrown after all jobs finish, and results are
+/// whatever the jobs wrote into their own slots: callers give each job
+/// exclusive storage and merge in deterministic order.
+void run_jobs(std::vector<std::function<void()>>&& jobs, int nworkers);
+
+}  // namespace capmem::exec

@@ -1,0 +1,43 @@
+// Deterministic per-trial seed derivation for the execution layer.
+//
+// Parallel experiment execution must not change results: every (config,
+// trial) cell of an experiment grid gets its seed from the user-facing base
+// seed through a pure function, so the derived seed — and therefore the
+// trial — is identical whether the cell runs first on one worker or last on
+// sixteen. The mixer is SplitMix64 (the same finalizer Rng::reseed uses to
+// spread a seed over the xoshiro state), applied in three keyed rounds so
+// that neighbouring (config, trial) pairs land far apart.
+#pragma once
+
+#include <cstdint>
+
+namespace capmem::exec {
+
+/// One SplitMix64 step: advances `state` by the golden-ratio increment and
+/// returns the finalized output word.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Seed for trial `trial` of experiment cell `config_id`, derived from the
+/// user's `base_seed`. Pure and platform-independent: stable across runs,
+/// worker counts, and submission order. Distinct (config_id, trial) pairs
+/// map to distinct seeds for any realistic grid (tested collision-free over
+/// large grids in test_exec).
+inline std::uint64_t derive_seed(std::uint64_t base_seed,
+                                 std::uint64_t config_id,
+                                 std::uint64_t trial) {
+  std::uint64_t s = base_seed;
+  std::uint64_t x = splitmix64(s);
+  s ^= config_id * 0xbf58476d1ce4e5b9ull;
+  x ^= splitmix64(s);
+  s ^= trial * 0x94d049bb133111ebull;
+  x ^= splitmix64(s);
+  return x;
+}
+
+}  // namespace capmem::exec

@@ -1,8 +1,9 @@
 #include "sort/harness.hpp"
 
 #include "common/check.hpp"
-#include "sort/bitonic_net.hpp"
 #include "common/log.hpp"
+#include "exec/experiment.hpp"
+#include "sort/bitonic_net.hpp"
 
 namespace capmem::sort {
 
@@ -10,7 +11,7 @@ model::SortModel make_sort_model(const sim::MachineConfig& cfg,
                                  const model::CapabilityModel& caps,
                                  sim::MemKind kind,
                                  const std::vector<int>& fit_threads,
-                                 const SortOptions& opts) {
+                                 const SortOptions& opts, int jobs) {
   model::SortArch arch;
   arch.l1_bytes = cfg.l1_bytes;
   arch.l2_bytes = cfg.l2_bytes;
@@ -18,10 +19,17 @@ model::SortModel make_sort_model(const sim::MachineConfig& cfg,
   arch.bitonic_ns_per_line = merge16_ns();
   model::SortModel sm(caps, arch);
 
+  // Each fit sort is an isolated simulation; the input data depends only on
+  // opts.seed, so fanning them out over host threads changes nothing.
+  const std::vector<SortRun> runs = exec::parallel_map<SortRun>(
+      static_cast<int>(fit_threads.size()), jobs, [&](int i) {
+        SortOptions o = opts;
+        return parallel_merge_sort(cfg, KiB(1),
+                                   fit_threads[static_cast<std::size_t>(i)],
+                                   o);
+      });
   std::vector<double> measured;
-  for (int n : fit_threads) {
-    SortOptions o = opts;
-    const SortRun run = parallel_merge_sort(cfg, KiB(1), n, o);
+  for (const SortRun& run : runs) {
     CAPMEM_CHECK_MSG(run.sorted_ok && run.checksum_ok,
                      "1 KB fit sort failed verification");
     measured.push_back(run.total_ns);
@@ -36,12 +44,19 @@ model::SortModel make_sort_model(const sim::MachineConfig& cfg,
 SortCurves sort_sweep(const sim::MachineConfig& cfg,
                       const model::SortModel& model, std::uint64_t bytes,
                       const std::vector<int>& threads,
-                      const SortOptions& opts) {
+                      const SortOptions& opts, int jobs) {
   SortCurves out;
   out.bytes = bytes;
-  for (int n : threads) {
-    CAPMEM_LOG_INFO << "sort sweep: " << bytes << " B, " << n << " threads";
-    const SortRun run = parallel_merge_sort(cfg, bytes, n, opts);
+  const std::vector<SortRun> runs = exec::parallel_map<SortRun>(
+      static_cast<int>(threads.size()), jobs, [&](int i) {
+        const int n = threads[static_cast<std::size_t>(i)];
+        CAPMEM_LOG_INFO << "sort sweep: " << bytes << " B, " << n
+                        << " threads";
+        return parallel_merge_sort(cfg, bytes, n, opts);
+      });
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const int n = threads[i];
+    const SortRun& run = runs[i];
     if (!run.sorted_ok || !run.checksum_ok) out.all_correct = false;
     out.threads.push_back(n);
     out.measured_ns.push_back(run.total_ns);

@@ -13,12 +13,14 @@
 namespace capmem::sort {
 
 /// Builds the sort model for `cfg` and fits its overhead term from
-/// measured 1 KB sorts over `fit_threads` (paper §V.B.2).
+/// measured 1 KB sorts over `fit_threads` (paper §V.B.2). The fit sorts
+/// are independent simulations and run on `jobs` host threads (exec
+/// layer); results are bit-identical for any jobs value.
 model::SortModel make_sort_model(const sim::MachineConfig& cfg,
                                  const model::CapabilityModel& caps,
                                  sim::MemKind kind,
                                  const std::vector<int>& fit_threads,
-                                 const SortOptions& opts = {});
+                                 const SortOptions& opts = {}, int jobs = 1);
 
 struct SortCurves {
   std::uint64_t bytes = 0;
@@ -34,10 +36,11 @@ struct SortCurves {
   bool all_correct = true;
 };
 
-/// Measured-vs-model sweep for one input size.
+/// Measured-vs-model sweep for one input size. The measured sorts run on
+/// `jobs` host threads (exec layer); model curves are pure functions.
 SortCurves sort_sweep(const sim::MachineConfig& cfg,
                       const model::SortModel& model, std::uint64_t bytes,
                       const std::vector<int>& threads,
-                      const SortOptions& opts = {});
+                      const SortOptions& opts = {}, int jobs = 1);
 
 }  // namespace capmem::sort

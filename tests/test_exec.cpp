@@ -1,0 +1,222 @@
+// Tests of the parallel experiment-execution layer: the worker pool, the
+// deterministic seed derivation, the Experiment runner, and the contract
+// the whole layer exists for — suite results that are bit-identical no
+// matter how many host workers execute the cells.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "bench/suite.hpp"
+#include "coll/harness.hpp"
+#include "exec/experiment.hpp"
+#include "exec/pool.hpp"
+#include "exec/seed.hpp"
+
+namespace capmem::exec {
+namespace {
+
+TEST(Seed, DerivationIsStable) {
+  // Pure function of its inputs — same value on every call.
+  for (std::uint64_t base : {0ull, 1ull, 99ull, 0xdeadbeefull}) {
+    EXPECT_EQ(derive_seed(base, 3, 7), derive_seed(base, 3, 7));
+  }
+  // And sensitive to every component.
+  EXPECT_NE(derive_seed(1, 0, 0), derive_seed(2, 0, 0));
+  EXPECT_NE(derive_seed(1, 0, 0), derive_seed(1, 1, 0));
+  EXPECT_NE(derive_seed(1, 0, 0), derive_seed(1, 0, 1));
+}
+
+TEST(Seed, NoCollisionsAcrossConfigTrialGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t c = 0; c < 64; ++c) {
+    for (std::uint64_t t = 0; t < 64; ++t) {
+      EXPECT_TRUE(seen.insert(derive_seed(1, c, t)).second)
+          << "collision at config " << c << " trial " << t;
+    }
+  }
+  // Swapping config and trial must not alias either.
+  EXPECT_NE(derive_seed(1, 2, 5), derive_seed(1, 5, 2));
+}
+
+TEST(Pool, RunsSubmittedWork) {
+  Pool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Pool, PropagatesExceptions) {
+  Pool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(RunJobs, ExecutesAllJobsSerialAndParallel) {
+  for (int workers : {1, 8}) {
+    std::vector<int> done(64, 0);
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 64; ++i) {
+      jobs.push_back([&done, i] { done[static_cast<std::size_t>(i)] = i + 1; });
+    }
+    run_jobs(std::move(jobs), workers);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(done[static_cast<std::size_t>(i)], i + 1);
+    }
+  }
+}
+
+TEST(RunJobs, RethrowsFirstExceptionBySubmissionOrder) {
+  for (int workers : {1, 4}) {
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back([] {});
+    jobs.push_back([] { throw std::runtime_error("first"); });
+    jobs.push_back([] { throw std::logic_error("second"); });
+    try {
+      run_jobs(std::move(jobs), workers);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "first");
+    }
+  }
+}
+
+TEST(Experiment, SeedsFollowDerivationAndReduceSeesTrialOrder) {
+  Experiment<int, std::vector<std::uint64_t>> e;
+  e.configs = {10, 20, 30};
+  e.trials = 4;
+  e.base_seed = 42;
+  e.program = [](int /*cfg*/, const Trial& t) {
+    return std::vector<std::uint64_t>{t.seed};
+  };
+  e.reduce = [](int /*cfg*/, std::vector<std::vector<std::uint64_t>>&& rs) {
+    std::vector<std::uint64_t> flat;
+    for (auto& r : rs) flat.push_back(r[0]);
+    return flat;
+  };
+  const auto serial = run_experiment(e, 1);
+  const auto parallel = run_experiment(e, 8);
+  ASSERT_EQ(serial.size(), 3u);
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    ASSERT_EQ(serial[c].size(), 4u);
+    for (std::size_t t = 0; t < serial[c].size(); ++t) {
+      EXPECT_EQ(serial[c][t], derive_seed(42, c, t));
+    }
+  }
+}
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  const auto serial = parallel_map<int>(33, 1, [](int i) { return i * i; });
+  const auto parallel = parallel_map<int>(33, 8, [](int i) { return i * i; });
+  EXPECT_EQ(serial, parallel);
+  for (int i = 0; i < 33; ++i) {
+    EXPECT_EQ(serial[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+// --- Suite bit-identity across worker counts -----------------------------
+
+void expect_same(const Summary& a, const Summary& b, const char* what) {
+  EXPECT_EQ(a.n, b.n) << what;
+  EXPECT_EQ(a.min, b.min) << what;
+  EXPECT_EQ(a.q1, b.q1) << what;
+  EXPECT_EQ(a.median, b.median) << what;
+  EXPECT_EQ(a.q3, b.q3) << what;
+  EXPECT_EQ(a.max, b.max) << what;
+  EXPECT_EQ(a.mean, b.mean) << what;
+  EXPECT_EQ(a.stddev, b.stddev) << what;
+}
+
+void expect_same(const LinearFit& a, const LinearFit& b, const char* what) {
+  EXPECT_EQ(a.alpha, b.alpha) << what;
+  EXPECT_EQ(a.beta, b.beta) << what;
+  EXPECT_EQ(a.r2, b.r2) << what;
+}
+
+void expect_same(const bench::Series& a, const bench::Series& b,
+                 const char* what) {
+  EXPECT_EQ(a.name, b.name) << what;
+  EXPECT_EQ(a.xs, b.xs) << what;
+  ASSERT_EQ(a.ys.size(), b.ys.size()) << what;
+  for (std::size_t i = 0; i < a.ys.size(); ++i) {
+    expect_same(a.ys[i], b.ys[i], what);
+  }
+}
+
+void expect_same_suite(const bench::SuiteResults& a,
+                       const bench::SuiteResults& b) {
+  expect_same(a.lat_l1, b.lat_l1, "lat_l1");
+  expect_same(a.lat_tile_m, b.lat_tile_m, "lat_tile_m");
+  expect_same(a.lat_tile_e, b.lat_tile_e, "lat_tile_e");
+  expect_same(a.lat_tile_sf, b.lat_tile_sf, "lat_tile_sf");
+  expect_same(a.lat_remote_m, b.lat_remote_m, "lat_remote_m");
+  expect_same(a.lat_remote_e, b.lat_remote_e, "lat_remote_e");
+  expect_same(a.lat_remote_sf, b.lat_remote_sf, "lat_remote_sf");
+  EXPECT_EQ(a.range_remote_m.lo, b.range_remote_m.lo);
+  EXPECT_EQ(a.range_remote_m.hi, b.range_remote_m.hi);
+  EXPECT_EQ(a.range_remote_e.lo, b.range_remote_e.lo);
+  EXPECT_EQ(a.range_remote_e.hi, b.range_remote_e.hi);
+  EXPECT_EQ(a.range_remote_sf.lo, b.range_remote_sf.lo);
+  EXPECT_EQ(a.range_remote_sf.hi, b.range_remote_sf.hi);
+  expect_same(a.bw_read_remote, b.bw_read_remote, "bw_read_remote");
+  expect_same(a.bw_copy_tile_m, b.bw_copy_tile_m, "bw_copy_tile_m");
+  expect_same(a.bw_copy_tile_e, b.bw_copy_tile_e, "bw_copy_tile_e");
+  expect_same(a.bw_copy_remote, b.bw_copy_remote, "bw_copy_remote");
+  expect_same(a.multiline_ns, b.multiline_ns, "multiline_ns");
+  expect_same(a.contention.fit, b.contention.fit, "contention.fit");
+  expect_same(a.contention.per_n, b.contention.per_n, "contention.per_n");
+  expect_same(a.congestion.latency_vs_pairs, b.congestion.latency_vs_pairs,
+              "congestion");
+  EXPECT_EQ(a.congestion.ratio, b.congestion.ratio);
+  expect_same(a.mem_lat_dram, b.mem_lat_dram, "mem_lat_dram");
+  ASSERT_EQ(a.mem_lat_mcdram.has_value(), b.mem_lat_mcdram.has_value());
+  if (a.mem_lat_mcdram) {
+    expect_same(*a.mem_lat_mcdram, *b.mem_lat_mcdram, "mem_lat_mcdram");
+  }
+}
+
+TEST(Suite, BitIdenticalAcrossWorkerCounts) {
+  bench::SuiteOptions o;
+  o.run.iters = 9;
+  o.streams = false;
+  o.remote_samples = 2;
+  o.contention_ns = {1, 2, 4};
+  const sim::MachineConfig cfg = sim::knl7210();
+
+  o.jobs = 1;
+  const bench::SuiteResults serial = bench::run_suite(cfg, o);
+  o.jobs = 8;
+  const bench::SuiteResults parallel = bench::run_suite(cfg, o);
+  expect_same_suite(serial, parallel);
+}
+
+TEST(CollSweep, MatchesSerialRuns) {
+  const sim::MachineConfig cfg = sim::tiny_machine();
+  coll::HarnessOptions ho;
+  ho.iters = 11;
+  const std::vector<coll::SweepPoint> points{
+      {coll::Algo::kOmpBarrier, 4},
+      {coll::Algo::kMpiBarrier, 8},
+      {coll::Algo::kOmpBroadcast, 4},
+  };
+  const auto swept =
+      coll::run_collective_sweep(cfg, points, nullptr, ho, 8);
+  ASSERT_EQ(swept.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto direct = coll::run_collective(cfg, points[i].algo,
+                                             points[i].nthreads, nullptr, ho);
+    expect_same(swept[i].per_iter_max, direct.per_iter_max, "coll sweep");
+    EXPECT_EQ(swept[i].errors, direct.errors);
+  }
+}
+
+}  // namespace
+}  // namespace capmem::exec
