@@ -57,17 +57,23 @@ TreeNode regular_tree(int n, int k) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int fit_iters = static_cast<int>(cli.get_int("fit_iters", 21));
   const int iters = static_cast<int>(cli.get_int("iters", 51));
   const int nthreads = static_cast<int>(cli.get_int("threads", 64));
   cli.finish();
 
-  const MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
+  MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
+  benchbin::observe(obs, cfg);
+  obs.set_config("knl7210 SNC4/flat");
+  obs.set_seed(cfg.seed);
+  obs.phase("fit");
   bench::SuiteOptions so;
   so.run.iters = fit_iters;
   const CapabilityModel m = fit_cache_model(cfg, so);
   const int tiles = cfg.active_tiles;
 
+  obs.phase("perturb");
   Table t("Ablation (a) — tuning under perturbed model parameters");
   t.set_header({"model variant", "root fanout", "depth", "predicted ns",
                 "measured bcast ns"});
@@ -94,6 +100,7 @@ int main(int argc, char** argv) {
   }
   benchbin::emit(t);
 
+  obs.phase("shapes");
   Table t2("Ablation (b) — fixed tree shapes vs the model-tuned tree");
   t2.set_header({"shape", "depth", "measured bcast ns"});
   {

@@ -29,11 +29,15 @@ struct ConfigRow {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int fit_iters = static_cast<int>(cli.get_int("fit_iters", 21));
   const int iters = static_cast<int>(cli.get_int("iters", 51));
   const int nthreads = static_cast<int>(cli.get_int("threads", 64));
   const int jobs = cli.get_jobs();
   cli.finish();
+  obs.set_config("knl7210 all-modes");
+  obs.set_jobs(jobs);
+  obs.phase("configs");
 
   Table t("Ablation — model + tuned collectives across all 15 configs");
   t.set_header({"cluster", "memory", "R_R", "R_I", "beta", "tree fanout",
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
         const auto [cm, mm] = configs[static_cast<std::size_t>(i)];
         MachineConfig cfg = knl7210(cm, mm);
         if (mm != MemoryMode::kFlat) cfg.scale_memory(64);
+        benchbin::observe(obs, cfg);  // sinks are thread-safe
         bench::SuiteOptions so;
         so.run.iters = fit_iters;
         const CapabilityModel m = fit_cache_model(cfg, so);

@@ -9,9 +9,18 @@
 #include "bench/measurement.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "obs/session.hpp"
 #include "sim/config.hpp"
 
 namespace capmem::benchbin {
+
+/// Attaches an obs::Session's sinks to a machine config: every Machine the
+/// harness builds from `cfg` then traces into --trace-out and aggregates
+/// into --metrics-out. A no-op (null hooks) when the flags weren't given.
+inline void observe(obs::Session& s, sim::MachineConfig& cfg) {
+  cfg.trace = s.trace();
+  cfg.metrics = s.metrics();
+}
 
 /// Prints a table twice: aligned text and CSV (separated by a marker).
 inline void emit(const Table& t) {

@@ -49,12 +49,18 @@ double measure(const MachineConfig& cfg, int nthreads, int iters,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 51));
   const int nthreads = static_cast<int>(cli.get_int("threads", 64));
   const int jobs = cli.get_jobs();
   cli.finish();
 
-  const MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
+  MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
+  benchbin::observe(obs, cfg);
+  obs.set_config("knl7210 SNC4/flat");
+  obs.set_seed(cfg.seed);
+  obs.set_jobs(jobs);
+  obs.phase("fit");
   bench::SuiteOptions so;
   so.run.iters = 21;
   so.jobs = jobs;
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
             << fmt_num(m.multiline.beta, 2) << "*lines ns (r2="
             << fmt_num(m.multiline.r2, 3) << ")\n\n";
 
+  obs.phase("sweep");
   Table t("Extension — payload broadcast vs message size (SNC4-flat, " +
           std::to_string(nthreads) + " threads) [ns]");
   t.set_header({"bytes", "tuned fanout", "tuned depth", "tuned measured",

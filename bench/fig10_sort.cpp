@@ -21,6 +21,7 @@ using namespace capmem::sort;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int fit_iters = static_cast<int>(cli.get_int("fit_iters", 31));
   const std::uint64_t large_mb = static_cast<std::uint64_t>(
       cli.get_int("large_mb", 64, "large input size (paper: 1024)"));
@@ -29,7 +30,12 @@ int main(int argc, char** argv) {
   const int jobs = cli.get_jobs();
   cli.finish();
 
-  const MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
+  MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
+  benchbin::observe(obs, cfg);
+  obs.set_config("knl7210 SNC4/flat");
+  obs.set_seed(cfg.seed);
+  obs.set_jobs(jobs);
+  obs.phase("fit");
 
   // Capability model: cache half + a focused bandwidth fit (copy at 1 and
   // at full-chip threads) instead of the whole stream suite.
@@ -82,6 +88,7 @@ int main(int argc, char** argv) {
   }
 
   for (const Size& sz : sizes) {
+    obs.phase(std::string("sort-") + sz.label);
     const SortCurves c = sort_sweep(cfg, sm, sz.bytes, sz.threads, so, jobs);
     Table t(std::string("Figure 10 — sorting ") + sz.label +
             " (SNC4-flat, MCDRAM) [ns]");

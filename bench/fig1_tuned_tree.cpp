@@ -15,6 +15,7 @@ using namespace capmem::model;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int iters =
       static_cast<int>(cli.get_int("iters", 31, "suite iterations"));
   const std::string mode_s =
@@ -24,6 +25,10 @@ int main(int argc, char** argv) {
   MachineConfig cfg =
       knl7210(cluster_mode_from_string(mode_s), MemoryMode::kCache);
   cfg.scale_memory(64);
+  benchbin::observe(obs, cfg);
+  obs.set_config("knl7210 " + mode_s + "/cache");
+  obs.set_seed(cfg.seed);
+  obs.phase("fit");
   bench::SuiteOptions opts;
   opts.run.iters = iters;
   const CapabilityModel m = fit_cache_model(cfg, opts);
@@ -35,6 +40,7 @@ int main(int argc, char** argv) {
             << fmt_num(m.contention.alpha, 0) << "+"
             << fmt_num(m.contention.beta, 1) << "*N\n\n";
 
+  obs.phase("tune");
   const int tiles = cfg.active_tiles;  // 64 cores, 1 thread/core, 2/tile
   for (TreeKind kind : {TreeKind::kReduce, TreeKind::kBroadcast}) {
     const TunedTree t = optimize_tree(m, tiles, kind, MemKind::kDDR);

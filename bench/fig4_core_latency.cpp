@@ -12,13 +12,19 @@ using namespace capmem::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 31));
   const std::string mode_s = cli.get_string("mode", "SNC4");
   const int jobs = cli.get_jobs();
   cli.finish();
 
-  const MachineConfig cfg =
+  MachineConfig cfg =
       knl7210(cluster_mode_from_string(mode_s), MemoryMode::kFlat);
+  benchbin::observe(obs, cfg);
+  obs.set_config("knl7210 " + mode_s + "/flat");
+  obs.set_seed(cfg.seed);
+  obs.set_jobs(jobs);
+  obs.phase("sweep");
   C2COptions opts;
   opts.run.iters = iters;
   const auto series = c2c_latency_per_core(

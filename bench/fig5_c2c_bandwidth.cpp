@@ -29,12 +29,17 @@ int core_in_domain(const MachineConfig& cfg, const Topology& topo,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 21));
   const int jobs = cli.get_jobs();
   cli.finish();
 
   MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kCache);
   cfg.scale_memory(64);
+  benchbin::observe(obs, cfg);
+  obs.set_config("knl7210 SNC4/cache");
+  obs.set_seed(cfg.seed);
+  obs.set_jobs(jobs);
   const Topology topo(cfg);
   const int probe = 0;
   const int probe_tile = 0;
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
   MultilineOptions opts;
   opts.run.iters = iters;
   for (PrepState st : {PrepState::kM, PrepState::kE}) {
+    obs.phase(std::string("sweep-") + to_string(st));
     for (const auto& p : places) {
       if (p.victim < 0) continue;
       const Series s = multiline_size_sweep(cfg, p.victim, probe, sizes,

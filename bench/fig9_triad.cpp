@@ -14,13 +14,18 @@ using namespace capmem::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 5));
   const std::string mode_s = cli.get_string("mode", "SNC4");
   const int jobs = cli.get_jobs();
   cli.finish();
 
-  const MachineConfig cfg =
+  MachineConfig cfg =
       knl7210(cluster_mode_from_string(mode_s), MemoryMode::kFlat);
+  benchbin::observe(obs, cfg);
+  obs.set_config("knl7210 " + mode_s + "/flat");
+  obs.set_seed(cfg.seed);
+  obs.set_jobs(jobs);
   const std::vector<int> threads{1, 4, 8, 16, 32, 64, 128, 256};
 
   Table t("Figure 9 — triad bandwidth vs threads (" + mode_s +
@@ -28,6 +33,7 @@ int main(int argc, char** argv) {
   t.set_header({"series", "threads", "median", "q1", "q3", "min", "max"});
   std::vector<PlotSeries> plots;
   for (Schedule sched : {Schedule::kFillCores, Schedule::kFillTiles}) {
+    obs.phase(std::string("sweep-") + to_string(sched));
     for (MemKind kind : {MemKind::kMCDRAM, MemKind::kDDR}) {
       StreamConfig sc;
       sc.kind = kind;

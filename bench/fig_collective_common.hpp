@@ -19,16 +19,26 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
                                  const char* paper_ref) {
   using namespace capmem::sim;
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int iters = static_cast<int>(
       cli.get_int("iters", 101, "iterations (paper: 1000)"));
   const int fit_iters =
       static_cast<int>(cli.get_int("fit_iters", 31, "model-fit iterations"));
   const std::string mode_s = cli.get_string("mode", "SNC4");
+  const int max_threads = static_cast<int>(cli.get_int(
+      "max-threads", 256,
+      "largest thread count in the sweep (small traced runs: 16)"));
   const int jobs = cli.get_jobs();
   cli.finish();
 
-  const MachineConfig cfg =
+  MachineConfig cfg =
       knl7210(cluster_mode_from_string(mode_s), MemoryMode::kFlat);
+  observe(obs, cfg);
+  obs.set_config(std::string(cfg.name) + " " + to_string(cfg.cluster) + "/" +
+                 to_string(cfg.memory));
+  obs.set_seed(cfg.seed);
+  obs.set_jobs(jobs);
+  obs.phase("fit");
   bench::SuiteOptions sopts;
   sopts.run.iters = fit_iters;
   sopts.jobs = jobs;
@@ -38,6 +48,7 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
   const coll::Algo algos[3] = {tuned, omp, mpi};
 
   for (Schedule sched : {Schedule::kFillTiles, Schedule::kScatter}) {
+    obs.phase(std::string("sweep-") + to_string(sched));
     Table t(std::string(figure_name) + " — " + to_string(sched) +
             " (SNC4-flat, MCDRAM cells) [ns]");
     t.set_header({"algorithm", "threads", "median", "q1", "q3", "min", "max",
@@ -53,7 +64,7 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
     std::vector<coll::SweepPoint> points;
     for (coll::Algo a : algos) {
       for (int n : threads) {
-        if (n > cfg.hw_threads()) continue;
+        if (n > cfg.hw_threads() || n > max_threads) continue;
         points.push_back({a, n});
       }
     }
@@ -63,7 +74,7 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
     for (coll::Algo a : algos) {
       PlotSeries ps{coll::to_string(a), {}, {}};
       for (int n : threads) {
-        if (n > cfg.hw_threads()) continue;
+        if (n > cfg.hw_threads() || n > max_threads) continue;
         const coll::CollResult& r = results[idx++];
         total_errors += r.errors;
         ps.xs.push_back(n);
@@ -102,7 +113,7 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
     // Speedup summary at the paper's headline points (batched the same way).
     std::vector<coll::SweepPoint> headline;
     for (int n : {64, 256}) {
-      if (n > cfg.hw_threads()) continue;
+      if (n > cfg.hw_threads() || n > max_threads) continue;
       headline.push_back({tuned, n});
       headline.push_back({omp, n});
       headline.push_back({mpi, n});
@@ -120,6 +131,7 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
     }
   }
   std::cout << paper_ref << "\n";
+  obs.finish();
   return 0;
 }
 

@@ -12,24 +12,31 @@ using namespace capmem::bench;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int iters = static_cast<int>(cli.get_int(
       "iters", 51, "iterations per experiment (paper: 1000)"));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const int jobs = cli.get_jobs();
   cli.finish();
+  obs.set_config("knl7210 all-modes/flat");
+  obs.set_seed(seed);
+  obs.set_jobs(jobs);
 
   Table t("Table I — cache-to-cache (flat memory)");
   t.set_header({"row", "SNC4", "SNC2", "QUAD", "HEM", "A2A"});
 
   std::vector<SuiteResults> results;
   for (ClusterMode mode : all_cluster_modes()) {
+    obs.phase(std::string("suite-") + to_string(mode));
     SuiteOptions opts;
     opts.run.iters = iters;
     opts.run.seed = seed;
     opts.streams = false;
     opts.jobs = jobs;
-    results.push_back(run_suite(knl7210(mode, MemoryMode::kFlat), opts));
+    MachineConfig cfg = knl7210(mode, MemoryMode::kFlat);
+    benchbin::observe(obs, cfg);
+    results.push_back(run_suite(cfg, opts));
   }
 
   auto row = [&](const std::string& name, auto getter, int prec = 0) {

@@ -41,6 +41,7 @@ void stream_rows(Table& t, const std::vector<SuiteResults>& results,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
   const int iters = static_cast<int>(
       cli.get_int("iters", 31, "latency iterations (paper: 1000)"));
   const bool fast = cli.get_flag("fast", false, "smaller stream configs");
@@ -49,12 +50,16 @@ int main(int argc, char** argv) {
       "memory scale divisor for cache-mode runs (footprint realism)"));
   const int jobs = cli.get_jobs();
   cli.finish();
+  obs.set_config("knl7210 all-modes/flat+cache");
+  obs.set_jobs(jobs);
 
   for (MemoryMode mem : {MemoryMode::kFlat, MemoryMode::kCache}) {
+    obs.phase(std::string("suite-") + to_string(mem));
     std::vector<SuiteResults> results;
     for (ClusterMode mode : all_cluster_modes()) {
       MachineConfig cfg = knl7210(mode, mem);
       if (mem == MemoryMode::kCache) cfg.scale_memory(cache_scale);
+      benchbin::observe(obs, cfg);
       SuiteOptions opts;
       opts.run.iters = iters;
       opts.fast = fast;

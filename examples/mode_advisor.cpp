@@ -18,6 +18,7 @@ using namespace capmem::model;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  cli.get_log_level();
   const int iters = static_cast<int>(cli.get_int("iters", 21));
   cli.finish();
 

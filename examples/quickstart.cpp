@@ -19,6 +19,7 @@ using namespace capmem::sim;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  cli.get_log_level();
   const std::string cluster = cli.get_string("cluster", "QUAD");
   const std::string memory = cli.get_string("memory", "flat");
   const int iters = static_cast<int>(cli.get_int("iters", 21));

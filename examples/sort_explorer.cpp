@@ -19,6 +19,7 @@ using namespace capmem::sort;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  cli.get_log_level();
   const std::uint64_t bytes =
       MiB(static_cast<std::uint64_t>(cli.get_int("bytes_mb", 16)));
   const int threads = static_cast<int>(cli.get_int("threads", 64));

@@ -53,6 +53,7 @@ void render_grid(const MachineConfig& cfg, const Topology& topo,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  cli.get_log_level();
   const std::string cluster = cli.get_string("cluster", "SNC4");
   cli.finish();
   const ClusterMode mode = cluster_mode_from_string(cluster);

@@ -17,6 +17,7 @@ using namespace capmem::model;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  cli.get_log_level();
   const int threads = static_cast<int>(cli.get_int("threads", 64));
   const std::string cluster = cli.get_string("cluster", "SNC4");
   const int iters = static_cast<int>(cli.get_int("iters", 101));

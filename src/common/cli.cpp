@@ -74,6 +74,17 @@ int Cli::get_jobs(int def) {
   return static_cast<int>(v);
 }
 
+LogLevel Cli::get_log_level() {
+  const std::string s = get_string(
+      "log-level", "",
+      "stderr log verbosity: error, warn, info, debug (default: $CAPMEM_LOG "
+      "or info)");
+  if (s.empty()) return log_level();
+  const LogLevel level = log_level_from_string(s);
+  set_log_level(level);
+  return level;
+}
+
 void Cli::finish() {
   if (help_requested_) {
     std::cout << "usage: " << program_ << " [options]\n";

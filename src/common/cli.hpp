@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
+
 namespace capmem {
 
 class Cli {
@@ -35,6 +37,11 @@ class Cli {
   /// hardware concurrency; the default 1 is the serial reference path.
   /// Results are bit-identical for every value.
   int get_jobs(int def = 1);
+  /// Declares and reads the shared `--log-level {error,warn,info,debug}`
+  /// option. The flag overrides $CAPMEM_LOG; when absent the environment
+  /// (default info) stands. Applies the level process-wide via
+  /// set_log_level() and returns it.
+  LogLevel get_log_level();
 
   /// Validates that every supplied option was declared; prints usage and
   /// exits(0) when --help was given. Call once after all get_* calls.

@@ -1,12 +1,22 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
 
+#include "common/check.hpp"
+
 namespace capmem {
 
+namespace {
+// -1 = no override; otherwise a LogLevel value set by set_log_level().
+std::atomic<int> g_level_override{-1};
+}  // namespace
+
 LogLevel log_level() {
+  const int ov = g_level_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return static_cast<LogLevel>(ov);
   static const LogLevel level = [] {
     const char* env = std::getenv("CAPMEM_LOG");
     if (env == nullptr) return LogLevel::kInfo;
@@ -17,6 +27,20 @@ LogLevel log_level() {
     return LogLevel::kInfo;
   }();
   return level;
+}
+
+void set_log_level(LogLevel level) {
+  g_level_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level_from_string(const std::string& s) {
+  if (s == "error") return LogLevel::kError;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "debug") return LogLevel::kDebug;
+  CAPMEM_CHECK_MSG(false, "unknown log level '"
+                              << s << "' (error, warn, info, debug)");
+  return LogLevel::kInfo;  // unreachable
 }
 
 void log_line(LogLevel level, const std::string& msg) {

@@ -1,6 +1,7 @@
 // Tiny leveled logger. Benches use it for progress lines on stderr so stdout
 // stays machine-parseable. Level is taken from $CAPMEM_LOG (error|warn|info|
-// debug), default info.
+// debug), default info; a --log-level CLI flag (Cli::get_log_level) overrides
+// the environment via set_log_level.
 #pragma once
 
 #include <sstream>
@@ -10,8 +11,15 @@ namespace capmem {
 
 enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
-/// Current process-wide log level (read once from the environment).
+/// Current process-wide log level: an explicit set_log_level() override when
+/// present, otherwise the value read once from the environment.
 LogLevel log_level();
+
+/// Overrides the environment-derived level for the rest of the process.
+void set_log_level(LogLevel level);
+
+/// Parses {error, warn, info, debug}; throws CheckError on anything else.
+LogLevel log_level_from_string(const std::string& s);
 
 /// Emits one line to stderr if `level` is enabled.
 void log_line(LogLevel level, const std::string& msg);

@@ -21,6 +21,7 @@
 #include "common/check.hpp"
 #include "exec/pool.hpp"
 #include "exec/seed.hpp"
+#include "obs/metrics.hpp"
 
 namespace capmem::exec {
 
@@ -59,6 +60,11 @@ std::vector<Result> run_experiment(const Experiment<Config, Result>& e,
   CAPMEM_CHECK(e.program != nullptr);
   const std::size_t ncfg = e.configs.size();
   const std::size_t ntrials = static_cast<std::size_t>(e.trials);
+  if (obs::Registry* reg = obs::process_registry()) {
+    reg->add("exec.experiments", 1);
+    reg->add("exec.cells", static_cast<double>(ncfg));
+    reg->add("exec.trials", static_cast<double>(ncfg * ntrials));
+  }
   std::vector<Result> slots(ncfg * ntrials);  // one exclusive slot per job
   std::vector<std::function<void()>> jobs;
   jobs.reserve(ncfg * ntrials);

@@ -1,8 +1,84 @@
 #include "exec/pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
 
 namespace capmem::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+// The unobserved dispatch path (the exact pre-obs run_jobs body).
+void run_jobs_raw(std::vector<std::function<void()>>&& jobs, int nworkers) {
+  if (nworkers <= 1) {
+    for (auto& j : jobs) j();
+    return;
+  }
+  Pool pool(std::min<int>(nworkers, static_cast<int>(jobs.size())));
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs.size());
+  for (auto& j : jobs) futs.push_back(pool.submit(std::move(j)));
+  // Wait for everything before rethrowing so no job still references the
+  // caller's slots when run_jobs returns via an exception.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+// Wraps every job with host wall-time profiling recorded into the process
+// registry (installed by obs::Session for --metrics-out). Host times are
+// nondeterministic by nature; they only ever land in the metrics JSON,
+// never in experiment results or stdout.
+void run_jobs_profiled(std::vector<std::function<void()>>&& jobs,
+                       int nworkers, obs::Registry& reg) {
+  const std::size_t njobs = jobs.size();
+  const Clock::time_point batch_start = Clock::now();
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(njobs);
+  for (auto& j : jobs) {
+    wrapped.push_back(
+        [job = std::move(j), batch_start, &reg] {
+          // Time from batch submission to job start: queueing behind other
+          // batches' work plus earlier jobs on this worker slot.
+          const double queue_us = us_since(batch_start);
+          const Clock::time_point t0 = Clock::now();
+          job();
+          reg.record("exec.job_wall_us", us_since(t0));
+          reg.record("exec.job_queue_wait_us", queue_us);
+        });
+  }
+  reg.add("exec.batches", 1);
+  reg.add("exec.jobs", static_cast<double>(njobs));
+  reg.set("exec.workers", static_cast<double>(std::max(1, nworkers)));
+  const double wall_sum_before = reg.hist("exec.job_wall_us").sum;
+  run_jobs_raw(std::move(wrapped), nworkers);
+  const double batch_us = us_since(batch_start);
+  reg.record("exec.batch_wall_us", batch_us);
+  // Worker utilization of this batch: summed job wall time over the
+  // worker-seconds the batch occupied (1.0 = perfectly packed).
+  const double batch_wall_sum =
+      reg.hist("exec.job_wall_us").sum - wall_sum_before;
+  const double denom =
+      batch_us *
+      std::max(1, std::min(nworkers, static_cast<int>(njobs)));
+  if (denom > 0) reg.record("exec.worker_util", batch_wall_sum / denom);
+}
+
+}  // namespace
 
 Pool::Pool(int nworkers) {
   if (nworkers <= 0) nworkers = default_jobs();
@@ -61,25 +137,12 @@ void Pool::worker_loop() {
 }
 
 void run_jobs(std::vector<std::function<void()>>&& jobs, int nworkers) {
-  if (nworkers <= 1) {
-    for (auto& j : jobs) j();
+  obs::Registry* reg = obs::process_registry();
+  if (reg == nullptr) {
+    run_jobs_raw(std::move(jobs), nworkers);
     return;
   }
-  Pool pool(std::min<int>(nworkers, static_cast<int>(jobs.size())));
-  std::vector<std::future<void>> futs;
-  futs.reserve(jobs.size());
-  for (auto& j : jobs) futs.push_back(pool.submit(std::move(j)));
-  // Wait for everything before rethrowing so no job still references the
-  // caller's slots when run_jobs returns via an exception.
-  std::exception_ptr first;
-  for (auto& f : futs) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first) first = std::current_exception();
-    }
-  }
-  if (first) std::rethrow_exception(first);
+  run_jobs_profiled(std::move(jobs), nworkers, *reg);
 }
 
 }  // namespace capmem::exec

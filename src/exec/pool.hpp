@@ -52,6 +52,13 @@ class Pool {
 /// submission order) is rethrown after all jobs finish, and results are
 /// whatever the jobs wrote into their own slots: callers give each job
 /// exclusive storage and merge in deterministic order.
+///
+/// When an obs::Registry is installed as the process registry (obs::Session
+/// with --metrics-out), every job is additionally wrapped with host
+/// wall-time profiling: exec.job_wall_us / exec.job_queue_wait_us /
+/// exec.batch_wall_us histograms and an exec.worker_util estimate. Host
+/// times are nondeterministic; they appear only in the metrics output and
+/// never influence job results.
 void run_jobs(std::vector<std::function<void()>>&& jobs, int nworkers);
 
 }  // namespace capmem::exec

@@ -1,0 +1,98 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+
+namespace capmem::obs {
+
+namespace {
+
+void append_str(std::string& s, const std::string& v) {
+  s += '"';
+  for (char c : v) {
+    if (c == '"' || c == '\\') {
+      s += '\\';
+      s += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      s += buf;
+    } else {
+      s += c;
+    }
+  }
+  s += '"';
+}
+
+}  // namespace
+
+void RunManifest::dump_json(std::ostream& os) const {
+  std::string s;
+  s.reserve(1024);
+  s += "{\n  \"schema\": \"capmem.manifest.v1\",\n  \"program\": ";
+  append_str(s, program);
+  s += ",\n  \"args\": [";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) s += ", ";
+    append_str(s, args[i]);
+  }
+  s += "],\n  \"config\": ";
+  append_str(s, config);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\n  \"seed\": %llu,\n  \"jobs\": %d,\n  \"git\": ",
+                static_cast<unsigned long long>(seed), jobs);
+  s += buf;
+  append_str(s, git);
+  s += ",\n  \"started\": ";
+  append_str(s, started);
+  s += ",\n  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    s += i == 0 ? "\n    " : ",\n    ";
+    s += "{\"name\": ";
+    append_str(s, phases[i].name);
+    std::snprintf(buf, sizeof(buf), ", \"wall_ms\": %.3f}",
+                  phases[i].wall_ms);
+    s += buf;
+  }
+  s += phases.empty() ? "]\n" : "\n  ]\n";
+  s += "}\n";
+  os << s;
+}
+
+std::string git_describe() {
+#if defined(_WIN32)
+  return "unknown";
+#else
+  std::FILE* p = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (p == nullptr) return "unknown";
+  char buf[256];
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), p) != nullptr) out += buf;
+  const int rc = ::pclose(p);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  if (rc != 0 || out.empty()) return "unknown";
+  return out;
+#endif
+}
+
+std::string iso8601_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+}  // namespace capmem::obs

@@ -1,0 +1,40 @@
+// Run manifests: every bench binary can write a small JSON document that
+// makes its artifacts self-describing — the exact command line, machine
+// configuration label, base seed, host jobs, the git revision the binary
+// was run from, and per-phase host wall timings.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace capmem::obs {
+
+struct RunManifest {
+  std::string program;             ///< argv[0]
+  std::vector<std::string> args;   ///< argv[1..]
+  std::string config;              ///< e.g. "knl7210 SNC4/flat"
+  std::uint64_t seed = 0;
+  int jobs = 1;
+  std::string git = "unknown";     ///< `git describe --always --dirty`
+  std::string started;             ///< ISO-8601 UTC start time
+
+  struct Phase {
+    std::string name;
+    double wall_ms = 0;
+  };
+  std::vector<Phase> phases;
+
+  /// Deterministically formatted JSON (modulo the host-time fields).
+  void dump_json(std::ostream& os) const;
+};
+
+/// `git describe --always --dirty` of the current directory's repository,
+/// or "unknown" when git is unavailable / not a repository.
+std::string git_describe();
+
+/// Current UTC time formatted as ISO-8601 (seconds resolution).
+std::string iso8601_now();
+
+}  // namespace capmem::obs

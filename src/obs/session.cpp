@@ -1,0 +1,93 @@
+#include "obs/session.hpp"
+
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+
+namespace capmem::obs {
+
+Session::Session(Cli& cli, int argc, const char* const* argv) {
+  const std::string trace_out = cli.get_string(
+      "trace-out", "", "write a Chrome trace-event JSON (Perfetto) here");
+  const std::string trace_events = cli.get_string(
+      "trace-events", "all",
+      "comma list of traced categories: task, access, coherence, directory, "
+      "noc, channel, all");
+  metrics_path_ = cli.get_string(
+      "metrics-out", "", "write component metrics as JSON here");
+  manifest_path_ = cli.get_string(
+      "manifest-out", "", "write the run manifest as JSON here");
+  cli.get_log_level();
+
+  manifest_.program = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) manifest_.args.emplace_back(argv[i]);
+  manifest_.started = iso8601_now();
+
+  if (!trace_out.empty()) {
+    trace_ = std::make_unique<ChromeTraceWriter>(
+        trace_out, parse_categories(trace_events));
+  }
+  metrics_enabled_ = !metrics_path_.empty();
+  const bool want_manifest = metrics_enabled_ || !manifest_path_.empty();
+  if (want_manifest) manifest_.git = git_describe();
+  if (metrics_enabled_) set_process_registry(&registry_);
+}
+
+Session::~Session() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; a failed flush loses the artifact only.
+  }
+}
+
+TraceSink* Session::trace() { return trace_.get(); }
+
+Registry* Session::metrics() {
+  return metrics_enabled_ ? &registry_ : nullptr;
+}
+
+void Session::close_phase() {
+  if (open_phase_.empty()) return;
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - phase_start_)
+          .count();
+  manifest_.phases.push_back({open_phase_, ms});
+  open_phase_.clear();
+}
+
+void Session::phase(const std::string& name) {
+  close_phase();
+  open_phase_ = name;
+  phase_start_ = std::chrono::steady_clock::now();
+}
+
+void Session::finish() {
+  if (finished_) return;
+  finished_ = true;
+  close_phase();
+  if (metrics_enabled_ && process_registry() == &registry_) {
+    set_process_registry(nullptr);
+  }
+  if (trace_ != nullptr) trace_->flush();
+  if (metrics_enabled_) {
+    std::ofstream os(metrics_path_);
+    CAPMEM_CHECK_MSG(os.good(),
+                     "cannot open metrics file '" << metrics_path_ << "'");
+    os << "{\n\"schema\": \"capmem.run.v1\",\n\"manifest\": ";
+    manifest_.dump_json(os);
+    os << ",\n\"metrics\": ";
+    registry_.dump_json(os);
+    os << "}\n";
+  }
+  if (!manifest_path_.empty()) {
+    std::ofstream os(manifest_path_);
+    CAPMEM_CHECK_MSG(os.good(),
+                     "cannot open manifest file '" << manifest_path_ << "'");
+    manifest_.dump_json(os);
+  }
+}
+
+}  // namespace capmem::obs

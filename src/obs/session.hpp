@@ -1,0 +1,87 @@
+// obs::Session — the one-stop observability frontend for bench binaries.
+//
+// A Session declares the shared observability flags on a Cli
+// (--trace-out, --trace-events, --metrics-out, --manifest-out, --log-level),
+// owns the resulting sinks, and writes the output files when finished:
+//
+//   Cli cli(argc, argv);
+//   obs::Session obs(cli, argc, argv);
+//   ... declare bench-specific flags ...
+//   cli.finish();
+//   cfg.trace = obs.trace();      // or bench::observe(obs, cfg)
+//   cfg.metrics = obs.metrics();
+//   obs.phase("sweep");
+//   ... run ...
+//   obs.finish();                 // also called by the destructor
+//
+// With none of the flags given every accessor returns nullptr and finish()
+// writes nothing — the bench's stdout and virtual-time results are
+// untouched either way (sinks observe, never steer).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace capmem {
+class Cli;
+}  // namespace capmem
+
+namespace capmem::obs {
+
+class Session {
+ public:
+  /// Declares the observability options on `cli` and reads them. `argc` /
+  /// `argv` are recorded in the run manifest. Also applies --log-level.
+  Session(Cli& cli, int argc, const char* const* argv);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Trace sink for MachineConfig::trace; null without --trace-out.
+  TraceSink* trace();
+  /// Metrics registry for MachineConfig::metrics; null without
+  /// --metrics-out. While non-null it is also installed as the process
+  /// registry so exec::run_jobs records host-side profiling into it.
+  Registry* metrics();
+
+  /// True when any output flag was given.
+  bool enabled() const { return trace_ != nullptr || metrics_enabled_; }
+
+  /// Manifest annotations (config label, base seed, host jobs).
+  void set_config(const std::string& config) { manifest_.config = config; }
+  void set_seed(std::uint64_t seed) { manifest_.seed = seed; }
+  void set_jobs(int jobs) { manifest_.jobs = jobs; }
+
+  /// Starts a named phase; the previous phase (if any) is closed and its
+  /// host wall time recorded in the manifest.
+  void phase(const std::string& name);
+
+  /// Closes the current phase and writes all requested outputs (trace
+  /// footer, metrics JSON with embedded manifest, standalone manifest).
+  /// Idempotent; the destructor calls it.
+  void finish();
+
+  const RunManifest& manifest() const { return manifest_; }
+
+ private:
+  void close_phase();
+
+  std::unique_ptr<ChromeTraceWriter> trace_;
+  Registry registry_;
+  bool metrics_enabled_ = false;
+  std::string metrics_path_;
+  std::string manifest_path_;
+  RunManifest manifest_;
+  std::string open_phase_;
+  std::chrono::steady_clock::time_point phase_start_{};
+  bool finished_ = false;
+};
+
+}  // namespace capmem::obs

@@ -1,0 +1,217 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <sstream>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace capmem::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskResume: return "task-resume";
+    case EventKind::kTaskPark: return "task-park";
+    case EventKind::kTaskUnpark: return "task-unpark";
+    case EventKind::kTaskFinish: return "task-finish";
+    case EventKind::kSyncRelease: return "sync-release";
+    case EventKind::kLineAccess: return "line-access";
+    case EventKind::kCoherence: return "coherence";
+    case EventKind::kDirLookup: return "dir-lookup";
+    case EventKind::kNocHops: return "noc-hops";
+    case EventKind::kChannelXfer: return "channel-xfer";
+  }
+  return "?";
+}
+
+unsigned category_of(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskResume:
+    case EventKind::kTaskPark:
+    case EventKind::kTaskUnpark:
+    case EventKind::kTaskFinish:
+    case EventKind::kSyncRelease: return kCatTask;
+    case EventKind::kLineAccess: return kCatAccess;
+    case EventKind::kCoherence: return kCatCoherence;
+    case EventKind::kDirLookup: return kCatDirectory;
+    case EventKind::kNocHops: return kCatNoc;
+    case EventKind::kChannelXfer: return kCatChannel;
+  }
+  return kCatTask;
+}
+
+unsigned parse_categories(const std::string& csv) {
+  unsigned mask = 0;
+  std::istringstream is(csv);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    if (part.empty()) continue;
+    if (part == "all") mask |= kCatAll;
+    else if (part == "task") mask |= kCatTask;
+    else if (part == "access") mask |= kCatAccess;
+    else if (part == "coherence") mask |= kCatCoherence;
+    else if (part == "directory") mask |= kCatDirectory;
+    else if (part == "noc") mask |= kCatNoc;
+    else if (part == "channel") mask |= kCatChannel;
+    else {
+      CAPMEM_CHECK_MSG(false, "unknown trace event category '"
+                                  << part
+                                  << "' (task, access, coherence, directory, "
+                                     "noc, channel, all)");
+    }
+  }
+  CAPMEM_CHECK_MSG(mask != 0, "empty trace event category list");
+  return mask;
+}
+
+namespace {
+
+// Chrome trace process ids: one synthetic "process" per track family.
+constexpr int kPidTasks = 1;     // per-task scheduling tracks
+constexpr int kPidCores = 2;     // per-core line-access tracks
+constexpr int kPidChannels = 3;  // per-channel resource tracks
+constexpr int kPidDirectory = 4; // per-home-tile CHA tracks
+
+// Escapes nothing: every string we emit is a static identifier (no quotes,
+// no control characters) — enforced by the emitting call sites.
+void append_common(std::string& s, const char* name, const char* cat, char ph,
+                   int pid, long long track, double t_ns) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"pid\":%d,"
+                "\"tid\":%lld,\"ts\":%.6f",
+                name, cat, ph, pid, track, t_ns / 1000.0);
+  s += buf;
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::string path, unsigned categories)
+    : path_(std::move(path)), categories_(categories) {
+  f_ = std::fopen(path_.c_str(), "wb");
+  CAPMEM_CHECK_MSG(f_ != nullptr, "cannot open trace file '" << path_ << "'");
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n", f_);
+  // Track-family names so Perfetto groups the tracks readably.
+  const struct { int pid; const char* name; } procs[] = {
+      {kPidTasks, "sim tasks"},
+      {kPidCores, "sim cores"},
+      {kPidChannels, "sim channels"},
+      {kPidDirectory, "sim directory"},
+  };
+  bool first = true;
+  for (const auto& p : procs) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",\n", p.pid, p.name);
+    std::fputs(buf, f_);
+    first = false;
+  }
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { flush(); }
+
+void ChromeTraceWriter::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_) return;
+  closed_ = true;
+  std::fputs("\n]}\n", f_);
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
+void ChromeTraceWriter::write_raw(const std::string& json) {
+  std::fputs(",\n", f_);
+  std::fputs(json.c_str(), f_);
+  ++written_;
+}
+
+void ChromeTraceWriter::on_event(const TraceEvent& e) {
+  if ((category_of(e.kind) & categories_) == 0) return;
+  std::string s;
+  s.reserve(192);
+  char buf[160];
+  switch (e.kind) {
+    case EventKind::kTaskResume:
+      append_common(s, "resume", "task", 'i', kPidTasks, e.tid, e.t);
+      s += ",\"s\":\"t\"}";
+      break;
+    case EventKind::kTaskPark:
+      append_common(s, "park", "task", 'i', kPidTasks, e.tid, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"s\":\"t\",\"args\":{\"line\":%" PRIu64 "}}", e.line);
+      s += buf;
+      break;
+    case EventKind::kTaskUnpark:
+      // A complete slice spanning the parked interval on the task's track.
+      append_common(s, "parked", "task", 'X', kPidTasks, e.tid, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"dur\":%.6f,\"args\":{\"line\":%" PRIu64 "}}",
+                    e.dur / 1000.0, e.line);
+      s += buf;
+      break;
+    case EventKind::kTaskFinish:
+      append_common(s, "finish", "task", 'i', kPidTasks, e.tid, e.t);
+      s += ",\"s\":\"t\"}";
+      break;
+    case EventKind::kSyncRelease:
+      append_common(s, "sync", "task", 'i', kPidTasks, 0, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"s\":\"g\",\"args\":{\"arrivals\":%d}}", e.a);
+      s += buf;
+      break;
+    case EventKind::kLineAccess:
+      append_common(s, e.label != nullptr ? e.label : "access", "access", 'X',
+                    kPidCores, e.core, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"dur\":%.6f,\"args\":{\"tid\":%d,\"tile\":%d,"
+                    "\"line\":%" PRIu64 "}}",
+                    e.dur / 1000.0, e.tid, e.tile, e.line);
+      s += buf;
+      break;
+    case EventKind::kCoherence:
+      append_common(s, e.label != nullptr ? e.label : "coherence", "coherence",
+                    'i', kPidCores, e.core, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"s\":\"t\",\"args\":{\"tid\":%d,\"tile\":%d,"
+                    "\"line\":%" PRIu64 ",\"from\":%d,\"to\":%d}}",
+                    e.tid, e.tile, e.line, e.a, e.b);
+      s += buf;
+      break;
+    case EventKind::kDirLookup:
+      append_common(s, "cha", "directory", 'X', kPidDirectory, e.a, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"dur\":%.6f,\"args\":{\"tid\":%d,\"line\":%" PRIu64
+                    ",\"queue_ns\":%.3f}}",
+                    e.dur / 1000.0, e.tid, e.line, e.queue_ns);
+      s += buf;
+      break;
+    case EventKind::kNocHops:
+      append_common(s, "hops", "noc", 'i', kPidCores, e.core, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"s\":\"t\",\"args\":{\"tid\":%d,\"hops\":%d}}", e.tid,
+                    e.a);
+      s += buf;
+      break;
+    case EventKind::kChannelXfer: {
+      // Channel tracks: DRAM channels first, MCDRAM offset by 100 so the
+      // two pools never collide on one track id.
+      const bool mcdram =
+          e.label != nullptr && std::string_view(e.label) == "mcdram";
+      append_common(s, e.label != nullptr ? e.label : "xfer", "channel", 'X',
+                    kPidChannels, (mcdram ? 100 : 0) + e.a, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"dur\":%.6f,\"args\":{\"channel\":%d,"
+                    "\"queue_ns\":%.3f}}",
+                    e.dur / 1000.0, e.a, e.queue_ns);
+      s += buf;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_) return;
+  write_raw(s);
+}
+
+}  // namespace capmem::obs

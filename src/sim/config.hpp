@@ -14,6 +14,11 @@
 
 #include "common/units.hpp"
 
+namespace capmem::obs {
+class TraceSink;
+class Registry;
+}  // namespace capmem::obs
+
 namespace capmem::sim {
 
 /// KNL cluster (NUMA-exposure) modes, paper §II.D.
@@ -176,6 +181,14 @@ struct MachineConfig {
   double tsc_resolution_ns = 10.0;
 
   std::uint64_t seed = 42;
+
+  // --- observability hooks (non-owning, not part of machine identity) ---
+  // Machines built from this config emit virtual-time trace events into
+  // `trace` and merge end-of-run component metrics into `metrics`. Both are
+  // pure observers: null by default, and attaching them never changes
+  // virtual-time results (the disabled path is a single pointer test).
+  obs::TraceSink* trace = nullptr;
+  obs::Registry* metrics = nullptr;
 
   int cores() const { return active_tiles * cores_per_tile; }
   int hw_threads() const { return cores() * threads_per_core; }

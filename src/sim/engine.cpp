@@ -3,7 +3,34 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace capmem::sim {
+
+namespace {
+
+// One non-inlined helper per event so the enabled-path code stays out of the
+// scheduler loop; callers guard with a single `if (trace_)` branch.
+void emit_task_event(obs::TraceSink* sink, obs::EventKind kind, Nanos t,
+                     int tid, std::uint64_t line = 0, Nanos dur = 0) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.t = t;
+  e.dur = dur;
+  e.tid = tid;
+  e.line = line;
+  sink->on_event(e);
+}
+
+void emit_sync_release(obs::TraceSink* sink, Nanos t, int arrivals) {
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kSyncRelease;
+  e.t = t;
+  e.a = arrivals;
+  sink->on_event(e);
+}
+
+}  // namespace
 
 void Advance::await_suspend(Task::Handle h) const {
   CAPMEM_DCHECK(dt >= 0);
@@ -53,7 +80,12 @@ void Engine::schedule(Nanos t, std::function<void()> fn) {
 
 void Engine::park(std::uint64_t key, Task::Handle h,
                   std::function<bool(Nanos)> try_wake) {
-  parked_[key].push_back(Waiter{h, std::move(try_wake)});
+  const Nanos at = h.promise().clock;
+  parked_[key].push_back(Waiter{h, std::move(try_wake), at});
+  if (trace_) {
+    emit_task_event(trace_, obs::EventKind::kTaskPark, at, h.promise().tid,
+                    key);
+  }
 }
 
 void Engine::notify(std::uint64_t key, Nanos visible) {
@@ -62,7 +94,14 @@ void Engine::notify(std::uint64_t key, Nanos visible) {
   auto& waiters = it->second;
   for (std::size_t i = 0; i < waiters.size();) {
     if (waiters[i].try_wake(visible)) {
-      requeue(waiters[i].h);
+      Task::Handle h = waiters[i].h;
+      if (trace_) {
+        // The parked interval as one slice: park time to the woken clock.
+        emit_task_event(trace_, obs::EventKind::kTaskUnpark,
+                        waiters[i].parked_at, h.promise().tid, key,
+                        h.promise().clock - waiters[i].parked_at);
+      }
+      requeue(h);
       waiters.erase(waiters.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
@@ -71,9 +110,7 @@ void Engine::notify(std::uint64_t key, Nanos visible) {
   if (waiters.empty()) parked_.erase(it);
 }
 
-void Engine::sync_arrive(Task::Handle h) {
-  sync_q_.push_back(h);
-  if (static_cast<int>(sync_q_.size()) < live_) return;
+void Engine::release_sync() {
   // All live tasks arrived: align clocks to the maximum and release.
   Nanos tmax = 0;
   for (Task::Handle w : sync_q_) tmax = std::max(tmax, w.promise().clock);
@@ -81,7 +118,16 @@ void Engine::sync_arrive(Task::Handle h) {
     w.promise().clock = tmax;
     requeue(w);
   }
+  if (trace_) {
+    emit_sync_release(trace_, tmax, static_cast<int>(sync_q_.size()));
+  }
   sync_q_.clear();
+}
+
+void Engine::sync_arrive(Task::Handle h) {
+  sync_q_.push_back(h);
+  if (static_cast<int>(sync_q_.size()) < live_) return;
+  release_sync();
 }
 
 void Engine::finish(Task::Handle h) {
@@ -90,15 +136,13 @@ void Engine::finish(Task::Handle h) {
     running_ = false;
     std::rethrow_exception(h.promise().error);
   }
+  if (trace_) {
+    emit_task_event(trace_, obs::EventKind::kTaskFinish, h.promise().clock,
+                    h.promise().tid);
+  }
   // Release a barrier that was waiting only on still-live tasks.
   if (!sync_q_.empty() && static_cast<int>(sync_q_.size()) >= live_) {
-    Nanos tmax = 0;
-    for (Task::Handle w : sync_q_) tmax = std::max(tmax, w.promise().clock);
-    for (Task::Handle w : sync_q_) {
-      w.promise().clock = tmax;
-      requeue(w);
-    }
-    sync_q_.clear();
+    release_sync();
   }
 }
 
@@ -112,6 +156,10 @@ void Engine::run() {
     global_time_ = std::max(global_time_, e.t);
     ++steps_;
     if (e.h) {
+      if (trace_) {
+        emit_task_event(trace_, obs::EventKind::kTaskResume, e.t,
+                        e.h.promise().tid);
+      }
       e.h.resume();
       if (e.h.promise().done) finish(e.h);
     } else {
@@ -130,11 +178,16 @@ void Engine::report_deadlock() const {
   for (const auto& [key, ws] : parked_) {
     parked_count += ws.size();
     os << " line " << key << " <- {";
-    for (const auto& w : ws) os << ' ' << w.h.promise().tid;
+    for (const auto& w : ws) {
+      os << " tid " << w.h.promise().tid << " (parked at t=" << w.parked_at
+         << ")";
+    }
     os << " }";
   }
   if (!sync_q_.empty()) {
-    os << " barrier holds " << sync_q_.size() << " arrival(s)";
+    os << " barrier holds " << sync_q_.size() << " arrival(s) from {";
+    for (Task::Handle w : sync_q_) os << " tid " << w.promise().tid;
+    os << " }";
   }
   if (parked_count == 0 && sync_q_.empty()) os << " (unknown wait state)";
   throw CheckError(os.str());

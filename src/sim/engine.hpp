@@ -25,6 +25,10 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
+namespace capmem::obs {
+class TraceSink;
+}  // namespace capmem::obs
+
 namespace capmem::sim {
 
 class Engine;
@@ -124,6 +128,12 @@ class Engine {
   /// Deterministic per-engine RNG (noise models draw from it).
   Rng& rng() { return rng_; }
 
+  /// Attaches a trace sink (null to detach). The engine emits task
+  /// scheduling events (resume, park/unpark with the parked interval,
+  /// finish, barrier release); sinks observe, never steer.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace() const { return trace_; }
+
   int live_tasks() const { return live_; }
   int total_tasks() const { return static_cast<int>(tasks_.size()); }
   std::uint64_t steps() const { return steps_; }
@@ -170,9 +180,11 @@ class Engine {
   struct Waiter {
     Task::Handle h;
     std::function<bool(Nanos)> try_wake;
+    Nanos parked_at = 0;  ///< clock at park time (trace + diagnostics)
   };
 
   void finish(Task::Handle h);
+  void release_sync();
   [[noreturn]] void report_deadlock() const;
 
   std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> run_q_;
@@ -185,6 +197,7 @@ class Engine {
   std::uint64_t steps_ = 0;
   int live_ = 0;
   bool running_ = false;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace capmem::sim

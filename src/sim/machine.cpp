@@ -292,6 +292,7 @@ Machine::Machine(MachineConfig cfg)
       engine_(cfg_.seed),
       mem_(cfg_, topo_, engine_.rng()) {
   cfg_.validate();
+  engine_.set_trace(cfg_.trace);
   Rng skew_rng(cfg_.seed ^ 0x75c5u);
   tsc_skew_.resize(static_cast<std::size_t>(cfg_.cores()));
   for (auto& s : tsc_skew_) {
@@ -332,6 +333,7 @@ void Machine::run() {
     ctx.tid_ = tid;
   }
   engine_.run();
+  if (cfg_.metrics != nullptr) mem_.flush_metrics(engine_.now());
 }
 
 void Machine::flush_buffer(Addr base, std::uint64_t bytes,

@@ -238,6 +238,34 @@ class Machine {
     return tsc_skew_.at(static_cast<std::size_t>(core));
   }
 
+  // --- resource utilization accessors (post-run observability) ---
+
+  /// Busy time of one DRAM / MCDRAM channel so far.
+  Nanos dram_channel_busy(int channel) const {
+    return mem_.dram_pool().busy(channel);
+  }
+  Nanos mcdram_channel_busy(int channel) const {
+    return mem_.mcdram_pool().busy(channel);
+  }
+  /// Pool utilization over the run: total busy time across channels divided
+  /// by (channels * elapsed). 0 before run() or for a zero-length run.
+  double dram_utilization() const {
+    const Nanos t = elapsed();
+    return t > 0 ? mem_.dram_pool().busy_total() /
+                       (t * mem_.dram_pool().size())
+                 : 0.0;
+  }
+  double mcdram_utilization() const {
+    const Nanos t = elapsed();
+    return t > 0 ? mem_.mcdram_pool().busy_total() /
+                       (t * mem_.mcdram_pool().size())
+                 : 0.0;
+  }
+  /// Busy time of one core's load/store issue ports.
+  Nanos core_issue_busy(int core) const { return mem_.core_issue_busy(core); }
+  /// Busy time of one tile's L2 supply port (cache-to-cache source side).
+  Nanos l2_supply_busy(int tile) const { return mem_.l2_supply_busy(tile); }
+
  private:
   friend class Ctx;
   friend struct detail::LineOp;

@@ -44,6 +44,17 @@ MemSystem::MemSystem(const MachineConfig& cfg, const Topology& topo, Rng& rng)
   counters_.resize(static_cast<std::size_t>(cfg.hw_threads()));
   if (cfg.cluster == ClusterMode::kSNC2)
     extra_sigma_ = cfg.noise.snc2_extra_sigma;
+  trace_ = cfg.trace;
+  metrics_ = cfg.metrics;
+  obs_on_ = trace_ != nullptr || metrics_ != nullptr;
+  dir_requests_.resize(static_cast<std::size_t>(cfg.active_tiles), 0);
+  if (obs_on_) {
+    queue_delay_.resize(static_cast<std::size_t>(cfg.hw_threads()));
+    if (trace_ != nullptr) {
+      dram_.set_obs(trace_, "dram");
+      mcdram_.set_obs(trace_, "mcdram");
+    }
+  }
 }
 
 Nanos MemSystem::jitter(Nanos v, bool allow_spike) {
@@ -203,9 +214,13 @@ void MemSystem::fill_caches(int core, int tile, Line line, LineEntry& e) {
 }
 
 void MemSystem::invalidate_others(LineEntry& e, Line line, int keep_tile,
-                                  int tid) {
+                                  int tid, Nanos now) {
   for (int t = 0; t < topo_->active_tiles(); ++t) {
     if (t == keep_tile || !((e.l2_mask >> t) & 1ull)) continue;
+    if (obs_on_) {
+      note_coherence(tid, -1, t, line, Directory::state_in_tile(e, t),
+                     TileState::kI, now, "invalidate");
+    }
     l2_[static_cast<std::size_t>(t)].erase(line);
     e.l2_mask &= ~(1ull << t);
     for (int c = topo_->first_core_of_tile(t);
@@ -234,6 +249,7 @@ AccessResult MemSystem::memory_access(int tid, int core, Line line,
   const auto& lt = cfg_->lat;
   const int legs = mesh_legs(req_tile, target.home_tile, target.mem_stop);
   const Nanos path = lt.hop * legs;
+  if (obs_on_) note_hops(tid, core, legs, now);
 
   AccessResult res;
   const bool rfo = type == AccessType::kWrite && !opts.nt;
@@ -320,6 +336,100 @@ AccessResult MemSystem::memory_access(int tid, int core, Line line,
 AccessResult MemSystem::access(int tid, int core, Line line,
                                const Placement& place, AccessType type,
                                const AccessOpts& opts, Nanos now) {
+  // The disabled observability path is this single branch: access_impl is
+  // the exact pre-obs access body, so default runs stay byte-identical.
+  if (!obs_on_) return access_impl(tid, core, line, place, type, opts, now);
+  const AccessResult res =
+      access_impl(tid, core, line, place, type, opts, now);
+  note_access(tid, core, line, type, res, now);
+  return res;
+}
+
+void MemSystem::note_access(int tid, int core, Line line, AccessType type,
+                            const AccessResult& res, Nanos now) {
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kLineAccess;
+    e.t = now;
+    e.dur = res.finish - now;
+    e.tid = tid;
+    e.core = core;
+    e.tile = topo_->tile_of_core(core);
+    e.line = line;
+    e.label = to_string(res.level);
+    trace_->on_event(e);
+  }
+  // Per-thread channel queue delay of memory-served accesses (the pools
+  // remember the queueing component of their most recent transfer).
+  if (!queue_delay_.empty()) {
+    switch (res.level) {
+      case Level::kDram:
+      case Level::kMcdramCacheMiss:
+        queue_delay_[static_cast<std::size_t>(tid)].record(
+            dram_.last_queue_ns());
+        break;
+      case Level::kMcdram:
+      case Level::kMcdramCacheHit:
+        queue_delay_[static_cast<std::size_t>(tid)].record(
+            mcdram_.last_queue_ns());
+        break;
+      default:
+        break;
+    }
+  }
+  (void)type;
+}
+
+void MemSystem::note_dir_lookup(int tid, Line line, int home_tile, Nanos now,
+                                Nanos svc_start, Nanos service) {
+  dir_requests_.at(static_cast<std::size_t>(home_tile))++;
+  cha_queue_.record(svc_start - now);
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kDirLookup;
+    e.t = svc_start;
+    e.dur = service;
+    e.tid = tid;
+    e.line = line;
+    e.a = home_tile;
+    e.queue_ns = svc_start - now;
+    trace_->on_event(e);
+  }
+}
+
+void MemSystem::note_hops(int tid, int core, int legs, Nanos now) {
+  noc_hops_total_ += static_cast<std::uint64_t>(legs);
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kNocHops;
+    e.t = now;
+    e.tid = tid;
+    e.core = core;
+    e.a = legs;
+    trace_->on_event(e);
+  }
+}
+
+void MemSystem::note_coherence(int tid, int core, int tile, Line line,
+                               TileState from, TileState to, Nanos now,
+                               const char* label) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kCoherence;
+  e.t = now;
+  e.tid = tid;
+  e.core = core;
+  e.tile = tile;
+  e.line = line;
+  e.a = static_cast<int>(from);
+  e.b = static_cast<int>(to);
+  e.label = label;
+  trace_->on_event(e);
+}
+
+AccessResult MemSystem::access_impl(int tid, int core, Line line,
+                                    const Placement& place, AccessType type,
+                                    const AccessOpts& opts, Nanos now) {
   CAPMEM_CHECK(core >= 0 && core < cfg_->cores());
   CAPMEM_CHECK(tid >= 0 &&
                tid < static_cast<int>(counters_.size()));
@@ -332,7 +442,7 @@ AccessResult MemSystem::access(int tid, int core, Line line,
   // push the line straight to memory (no RFO, no fill).
   if (opts.nt && type == AccessType::kWrite) {
     LineEntry& e = dir_.entry(line);
-    invalidate_others(e, line, /*keep_tile=*/-1, tid);
+    invalidate_others(e, line, /*keep_tile=*/-1, tid, now);
     // Also drop our own copy if present.
     if (e.present_in_tile(tile)) {
       l2_[static_cast<std::size_t>(tile)].erase(line);
@@ -435,6 +545,10 @@ AccessResult MemSystem::access(int tid, int core, Line line,
     const Nanos svc_start = std::max(now, e.service_available);
     e.service_available = svc_start + jitter(lt.line_service, false);
     const MemTarget target = map_.target(line, place);
+    if (obs_on_) {
+      note_dir_lookup(tid, line, target.home_tile, now, svc_start,
+                      e.service_available - svc_start);
+    }
 
     if (e.owner >= 0 && e.owner != tile) {
       // Remote M/E: cache-to-cache transfer.
@@ -442,6 +556,12 @@ AccessResult MemSystem::access(int tid, int core, Line line,
       res.level = Level::kRemoteL2;
       res.prior = e.dirty ? TileState::kM : TileState::kE;
       const int legs = mesh_legs_tiles(tile, target.home_tile, e.owner);
+      if (obs_on_) {
+        note_hops(tid, core, legs, now);
+        // The old owner is downgraded to a shared copy (MESIF read c2c).
+        note_coherence(tid, core, e.owner, line, res.prior, TileState::kS,
+                       svc_start, "downgrade");
+      }
       Nanos cost;
       if (opts.streaming) {
         cost = stream_issue_cost(Level::kRemoteL2, res.prior, type, opts);
@@ -481,6 +601,7 @@ AccessResult MemSystem::access(int tid, int core, Line line,
         ctr.remote_hits++;
         res.level = Level::kRemoteL2;
         const int legs = mesh_legs_tiles(tile, target.home_tile, e.forward);
+        if (obs_on_) note_hops(tid, core, legs, now);
         Nanos cost;
         if (opts.streaming) {
           cost = stream_issue_cost(Level::kRemoteL2, res.prior, type, opts);
@@ -539,6 +660,10 @@ AccessResult MemSystem::access(int tid, int core, Line line,
                     : (e.dirty ? lt.l2_tile_m : lt.l2_tile_e);
       res.finish = std::max(now + jitter(cost), core_issue(core, now, 1.0));
     }
+    if (obs_on_ && res.prior != TileState::kM) {
+      note_coherence(tid, core, tile, line, res.prior, TileState::kM, now,
+                     "upgrade");
+    }
     e.dirty = true;
     l1_insert(core, line, e);
     e.version++;
@@ -551,12 +676,17 @@ AccessResult MemSystem::access(int tid, int core, Line line,
   const Nanos svc_start = std::max(now, e.service_available);
   e.service_available = svc_start + jitter(lt.line_service, false);
   const MemTarget target = map_.target(line, place);
+  if (obs_on_) {
+    note_dir_lookup(tid, line, target.home_tile, now, svc_start,
+                    e.service_available - svc_start);
+  }
 
   if (e.owner >= 0 && e.owner != tile) {
     ctr.remote_hits++;
     res.level = Level::kRemoteL2;
     res.prior = e.dirty ? TileState::kM : TileState::kE;
     const int legs = mesh_legs_tiles(tile, target.home_tile, e.owner);
+    if (obs_on_) note_hops(tid, core, legs, now);
     const int src = e.owner;
     Nanos cost;
     if (opts.streaming) {
@@ -568,7 +698,7 @@ AccessResult MemSystem::access(int tid, int core, Line line,
       res.finish = std::max(svc_start + cost, core_issue(core, now, 1.0));
     }
     res.finish = std::max(res.finish, l2_supply(src, svc_start));
-    invalidate_others(e, line, tile, tid);
+    invalidate_others(e, line, tile, tid, now);
   } else if (e.l2_mask != 0 && !(e.owner == tile)) {
     // Upgrade from shared: invalidation round via the home CHA.
     res.level = Level::kRemoteL2;
@@ -577,6 +707,7 @@ AccessResult MemSystem::access(int tid, int core, Line line,
                     : (e.forward >= 0 ? TileState::kF : TileState::kS);
     const int far = e.forward >= 0 ? e.forward : tile;
     const int legs = mesh_legs_tiles(tile, target.home_tile, far);
+    if (obs_on_) note_hops(tid, core, legs, now);
     Nanos cost;
     if (opts.streaming) {
       cost = stream_issue_cost(Level::kRemoteL2, TileState::kS, type, opts);
@@ -586,7 +717,7 @@ AccessResult MemSystem::access(int tid, int core, Line line,
       cost = remote_transfer_cost(TileState::kS, legs);
       res.finish = std::max(svc_start + cost, core_issue(core, now, 1.0));
     }
-    invalidate_others(e, line, tile, tid);
+    invalidate_others(e, line, tile, tid, now);
     ctr.remote_hits++;
   } else {
     // Globally invalid (or stale self-entry): RFO memory fetch.
@@ -594,6 +725,10 @@ AccessResult MemSystem::access(int tid, int core, Line line,
                         std::max(now, svc_start), tile);
   }
 
+  if (obs_on_) {
+    note_coherence(tid, core, tile, line, res.prior, TileState::kM, now,
+                   "upgrade");
+  }
   e.owner = tile;
   e.dirty = true;
   e.forward = -1;
@@ -658,6 +793,92 @@ double MemSystem::mcdram_busy_ns() const {
   double b = 0;
   for (int c = 0; c < mcdram_.size(); ++c) b += mcdram_.busy(c);
   return b;
+}
+
+void MemSystem::flush_metrics(Nanos elapsed) {
+  if (metrics_ == nullptr) return;
+  obs::Registry& reg = *metrics_;
+  reg.add("sim.machines", 1);
+  reg.add("sim.elapsed_ns", elapsed);
+
+  // Per-channel busy time and utilization (busy / machine elapsed). The
+  // utilization histograms aggregate the channel population across every
+  // Machine that flushed into this registry.
+  const auto flush_pool = [&](const ChannelPool& pool, const char* name) {
+    for (int c = 0; c < pool.size(); ++c) {
+      reg.add(std::string("sim.") + name + ".ch" + std::to_string(c) +
+                  ".busy_ns",
+              pool.busy(c));
+      if (elapsed > 0) {
+        reg.record(std::string("sim.") + name + ".channel_util",
+                   pool.busy(c) / elapsed);
+      }
+    }
+    reg.add(std::string("sim.") + name + ".busy_ns", pool.busy_total());
+  };
+  flush_pool(dram_, "dram");
+  flush_pool(mcdram_, "mcdram");
+
+  // Mesh occupancy (hop totals) and directory home-CHA request counts.
+  reg.add("sim.noc.hops", static_cast<double>(noc_hops_total_));
+  for (std::size_t t = 0; t < dir_requests_.size(); ++t) {
+    if (dir_requests_[t] == 0) continue;
+    reg.add("sim.dir.home" + std::to_string(t) + ".requests",
+            static_cast<double>(dir_requests_[t]));
+  }
+  reg.merge_hist("sim.cha.queue_ns", cha_queue_);
+
+  // Queue-delay distributions: one aggregate plus per-thread breakdowns.
+  obs::Log2Hist all_queue;
+  for (std::size_t tid = 0; tid < queue_delay_.size(); ++tid) {
+    const obs::Log2Hist& h = queue_delay_[tid];
+    if (h.count == 0) continue;
+    all_queue.merge(h);
+    reg.merge_hist("sim.mem.queue_delay_ns.tid" + std::to_string(tid), h);
+  }
+  reg.merge_hist("sim.mem.queue_delay_ns", all_queue);
+
+  // Core issue-port / L2-supply occupancy.
+  double issue_busy = 0;
+  for (const auto& p : core_ports_) issue_busy += p.busy();
+  double supply_busy = 0;
+  for (const auto& p : l2_supply_) supply_busy += p.busy();
+  reg.add("sim.core_issue.busy_ns", issue_busy);
+  reg.add("sim.l2_supply.busy_ns", supply_busy);
+
+  // ThreadCounters aggregate (the classification partition of line_ops).
+  ThreadCounters sum;
+  for (const auto& c : counters_) {
+    sum.l1_hits += c.l1_hits;
+    sum.l2_tile_hits += c.l2_tile_hits;
+    sum.remote_hits += c.remote_hits;
+    sum.dram_lines += c.dram_lines;
+    sum.mcdram_lines += c.mcdram_lines;
+    sum.mc_cache_hits += c.mc_cache_hits;
+    sum.mc_cache_misses += c.mc_cache_misses;
+    sum.writebacks += c.writebacks;
+    sum.invalidations += c.invalidations;
+    sum.line_ops += c.line_ops;
+  }
+  reg.add("sim.mem.l1_hits", static_cast<double>(sum.l1_hits));
+  reg.add("sim.mem.l2_tile_hits", static_cast<double>(sum.l2_tile_hits));
+  reg.add("sim.mem.remote_hits", static_cast<double>(sum.remote_hits));
+  reg.add("sim.mem.dram_lines", static_cast<double>(sum.dram_lines));
+  reg.add("sim.mem.mcdram_lines", static_cast<double>(sum.mcdram_lines));
+  reg.add("sim.mem.mc_cache_hits", static_cast<double>(sum.mc_cache_hits));
+  reg.add("sim.mem.mc_cache_misses",
+          static_cast<double>(sum.mc_cache_misses));
+  reg.add("sim.mem.writebacks", static_cast<double>(sum.writebacks));
+  reg.add("sim.mem.invalidations", static_cast<double>(sum.invalidations));
+  reg.add("sim.mem.line_ops", static_cast<double>(sum.line_ops));
+  // MCDRAM-cache hit ratio of this machine, as a distribution across
+  // machines (a plain counter ratio is recoverable from the two counters).
+  const std::uint64_t mc_total = sum.mc_cache_hits + sum.mc_cache_misses;
+  if (mc_total > 0) {
+    reg.record("sim.mc_cache.hit_ratio",
+               static_cast<double>(sum.mc_cache_hits) /
+                   static_cast<double>(mc_total));
+  }
 }
 
 }  // namespace capmem::sim

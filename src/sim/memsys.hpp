@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/address.hpp"
 #include "sim/cache.hpp"
 #include "sim/coherence.hpp"
@@ -80,7 +82,10 @@ class MemSystem {
 
   /// Timed access to one line by HW thread `tid` running on `core`.
   /// `place` is the placement of the owning allocation. Mutates coherence
-  /// state; returns completion time.
+  /// state; returns completion time. With observability hooks attached
+  /// (MachineConfig::trace / ::metrics) each access additionally emits a
+  /// classified kLineAccess trace event and feeds the local instruments —
+  /// without them the only extra cost is one branch.
   AccessResult access(int tid, int core, Line line, const Placement& place,
                       AccessType type, const AccessOpts& opts, Nanos now);
 
@@ -104,6 +109,26 @@ class MemSystem {
   double dram_busy_ns() const;
   double mcdram_busy_ns() const;
 
+  // --- observability accessors (Machine re-exports these) ---
+  const ChannelPool& dram_pool() const { return dram_; }
+  const ChannelPool& mcdram_pool() const { return mcdram_; }
+  Nanos core_issue_busy(int core) const {
+    return core_ports_.at(static_cast<std::size_t>(core)).busy();
+  }
+  Nanos l2_supply_busy(int tile) const {
+    return l2_supply_.at(static_cast<std::size_t>(tile)).busy();
+  }
+  std::uint64_t dir_requests(int home_tile) const {
+    return dir_requests_.at(static_cast<std::size_t>(home_tile));
+  }
+  std::uint64_t noc_hops() const { return noc_hops_total_; }
+
+  /// Merges the hot-path-local instruments (per-channel busy time and
+  /// utilization, home-CHA request counts, NoC hop totals, queue-delay
+  /// histograms, the ThreadCounters aggregate) into the attached
+  /// obs::Registry. Called once by Machine::run(); no-op without a registry.
+  void flush_metrics(Nanos elapsed);
+
   int tile_of_core(int core) const { return topo_->tile_of_core(core); }
 
  private:
@@ -113,6 +138,9 @@ class MemSystem {
   int mesh_legs_tiles(int req_tile, int home_tile, int owner_tile) const;
 
   Nanos remote_transfer_cost(TileState owner_state, int legs);
+  AccessResult access_impl(int tid, int core, Line line,
+                           const Placement& place, AccessType type,
+                           const AccessOpts& opts, Nanos now);
   AccessResult memory_access(int tid, int core, Line line,
                              const MemTarget& target, AccessType type,
                              const AccessOpts& opts, Nanos now,
@@ -121,8 +149,18 @@ class MemSystem {
   // State maintenance.
   void fill_caches(int core, int tile, Line line, LineEntry& e);
   void evict_l2_victim(int tile, Line victim, Nanos now);
-  void invalidate_others(LineEntry& e, Line line, int keep_tile, int tid);
+  void invalidate_others(LineEntry& e, Line line, int keep_tile, int tid,
+                         Nanos now);
   void l1_insert(int core, Line line, LineEntry& e);
+
+  // Observability taps (called only when obs_on_).
+  void note_access(int tid, int core, Line line, AccessType type,
+                   const AccessResult& res, Nanos now);
+  void note_dir_lookup(int tid, Line line, int home_tile, Nanos now,
+                       Nanos svc_start, Nanos service);
+  void note_hops(int tid, int core, int legs, Nanos now);
+  void note_coherence(int tid, int core, int tile, Line line, TileState from,
+                      TileState to, Nanos now, const char* label);
 
   // Streaming issue occupancy for a line served at `level`.
   Nanos stream_issue_cost(Level level, TileState prior, AccessType type,
@@ -147,6 +185,17 @@ class MemSystem {
   std::vector<Reservation> l2_supply_;     // per tile: c2c source bandwidth
   std::vector<ThreadCounters> counters_;   // per tid (grown on demand)
   double extra_sigma_ = 0.0;               // SNC2 experimental-mode variance
+
+  // Observability state. The hot-path instruments are component-local and
+  // allocation-free (plain counters, fixed Log2Hists); flush_metrics()
+  // merges them into the shared registry once per run.
+  obs::TraceSink* trace_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
+  bool obs_on_ = false;
+  std::vector<std::uint64_t> dir_requests_;  // per home tile
+  std::uint64_t noc_hops_total_ = 0;
+  obs::Log2Hist cha_queue_;                  // directory queueing delays
+  std::vector<obs::Log2Hist> queue_delay_;   // per tid, channel queue delays
 };
 
 }  // namespace capmem::sim

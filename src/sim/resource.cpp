@@ -1,5 +1,32 @@
 #include "sim/resource.hpp"
 
-// Header-only today; this TU anchors the module in the build so future
-// out-of-line additions have a home.
-namespace capmem::sim {}
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace capmem::sim {
+
+Nanos ChannelPool::transfer(int channel, Nanos now, double bytes,
+                            double rate_factor) {
+  Reservation& ch = channels_.at(static_cast<std::size_t>(channel));
+  const Nanos service = bytes / (rate_ * rate_factor);
+  const Nanos arrive = now - lead_ns_;
+  // Queue delay: time the request sat behind earlier reservations between
+  // its (back-dated) arrival and service start.
+  last_queue_ns_ = std::max<Nanos>(0, ch.available() - arrive);
+  const Nanos start = ch.acquire(arrive, service);
+  const Nanos done = start + service;
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kChannelXfer;
+    e.t = start;
+    e.dur = service;
+    e.a = channel;
+    e.queue_ns = last_queue_ns_;
+    e.label = name_;
+    trace_->on_event(e);
+  }
+  return std::max(now, done);
+}
+
+}  // namespace capmem::sim

@@ -13,6 +13,10 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
+namespace capmem::obs {
+class TraceSink;
+}  // namespace capmem::obs
+
 namespace capmem::sim {
 
 class Reservation {
@@ -66,11 +70,14 @@ class ChannelPool {
   /// requester's clock was held up elsewhere), so a channel that fell idle
   /// within the lead window still serves it without a gap.
   Nanos transfer(int channel, Nanos now, double bytes,
-                 double rate_factor = 1.0) {
-    Reservation& ch = channels_.at(static_cast<std::size_t>(channel));
-    const Nanos service = bytes / (rate_ * rate_factor);
-    const Nanos done = ch.acquire(now - lead_ns_, service) + service;
-    return std::max(now, done);
+                 double rate_factor = 1.0);
+
+  /// Attaches a trace sink (null to detach); `name` must have static
+  /// storage duration ("dram"/"mcdram") and labels the emitted
+  /// kChannelXfer events.
+  void set_obs(obs::TraceSink* sink, const char* name) {
+    trace_ = sink;
+    name_ = name;
   }
 
   int size() const { return static_cast<int>(channels_.size()); }
@@ -79,14 +86,28 @@ class ChannelPool {
   Nanos busy(int channel) const {
     return channels_.at(static_cast<std::size_t>(channel)).busy();
   }
+  /// Sum of per-channel busy times, for pool-level utilization.
+  Nanos busy_total() const {
+    Nanos t = 0;
+    for (const auto& c : channels_) t += c.busy();
+    return t;
+  }
+  /// Controller queue delay of the most recent transfer(): how long the
+  /// request sat behind earlier reservations before service started.
+  Nanos last_queue_ns() const { return last_queue_ns_; }
+  const char* name() const { return name_; }
   void reset() {
     for (auto& c : channels_) c.reset();
+    last_queue_ns_ = 0;
   }
 
  private:
   GBps rate_;
   Nanos lead_ns_;
   std::vector<Reservation> channels_;
+  Nanos last_queue_ns_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  const char* name_ = "channel";
 };
 
 }  // namespace capmem::sim

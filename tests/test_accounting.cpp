@@ -51,6 +51,54 @@ TEST(Accounting, CacheModeOpsClassifiedOnce) {
   EXPECT_GT(c.mc_cache_hits, 0u);
 }
 
+TEST(Accounting, MixedWorkloadPartitionsEveryOp) {
+  // Multi-threaded mix of local hits, cross-tile transfers, cold DRAM and
+  // cold MCDRAM traffic: for every thread the per-level classification
+  // counters must partition line_ops exactly — no op dropped, none counted
+  // at two levels.
+  Machine m(quiet());
+  const Addr shared = m.alloc("shared", KiB(4), {}, true);
+  const Addr dram =
+      m.alloc("dram", KiB(64), {MemKind::kDDR, std::nullopt}, false);
+  const Addr mcd =
+      m.alloc("mcd", KiB(64), {MemKind::kMCDRAM, std::nullopt}, false);
+  const int nthreads = 4;
+  for (int t = 0; t < nthreads; ++t) {
+    m.add_thread({t * 4, 0}, [&, t](Ctx& ctx) -> Task {
+      co_await ctx.write_buf(shared, KiB(4));       // RFO + invalidations
+      co_await ctx.read_buf(shared, KiB(4));        // local / remote hits
+      const std::uint64_t slice = KiB(64) / nthreads;
+      const Addr d = dram + static_cast<std::uint64_t>(t) * slice;
+      const Addr h = mcd + static_cast<std::uint64_t>(t) * slice;
+      co_await ctx.read_buf(d, slice);              // cold DRAM
+      co_await ctx.read_buf(h, slice);              // cold MCDRAM
+      co_await ctx.read_buf(d, slice);              // warm re-read
+      co_await ctx.sync();
+    });
+  }
+  m.run();
+  std::uint64_t total_ops = 0;
+  for (int t = 0; t < nthreads; ++t) {
+    const ThreadCounters& c = m.memsys().counters(t);
+    EXPECT_EQ(classified_ops(c), c.line_ops) << "tid " << t;
+    total_ops += c.line_ops;
+  }
+  // The mix actually exercised all four classes somewhere.
+  std::uint64_t l1 = 0, remote = 0, dram_lines = 0, mcd_lines = 0;
+  for (int t = 0; t < nthreads; ++t) {
+    const ThreadCounters& c = m.memsys().counters(t);
+    l1 += c.l1_hits;
+    remote += c.remote_hits;
+    dram_lines += c.dram_lines;
+    mcd_lines += c.mcdram_lines;
+  }
+  EXPECT_GT(total_ops, 0u);
+  EXPECT_GT(l1, 0u);
+  EXPECT_GT(remote, 0u);
+  EXPECT_GT(dram_lines, 0u);
+  EXPECT_GT(mcd_lines, 0u);
+}
+
 TEST(Accounting, DramBusyMatchesTrafficServed) {
   // A pure cold read stream of N lines must book exactly N * 64B / rate of
   // channel busy time (no RFO, no write-backs).

@@ -166,6 +166,33 @@ TEST(Engine, DeadlockIsReportedNotHung) {
   EXPECT_THROW(e.run(), CheckError);
 }
 
+TEST(Engine, DeadlockDiagnosticNamesTheStuckTask) {
+  // The report must identify *which* task is stuck and when it parked, so a
+  // hung benchmark is debuggable from the exception text alone.
+  Engine e(1);
+  auto waiter = [&]() -> Task {
+    co_await Advance{17.0};
+    struct ParkForever {
+      Engine* e;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Task::Handle h) const {
+        e->park(99, h, [](Nanos) { return false; });
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await ParkForever{&e};
+  };
+  e.spawn(waiter());
+  try {
+    e.run();
+    FAIL() << "expected a deadlock report";
+  } catch (const CheckError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("tid 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("parked at t=17"), std::string::npos) << msg;
+  }
+}
+
 TEST(Engine, BarrierMismatchIsDeadlock) {
   Engine e(1);
   auto a = [&]() -> Task { co_await SyncPoint{}; };

@@ -14,6 +14,8 @@
 #include "exec/experiment.hpp"
 #include "exec/pool.hpp"
 #include "exec/seed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace capmem::exec {
 namespace {
@@ -196,6 +198,34 @@ TEST(Suite, BitIdenticalAcrossWorkerCounts) {
   o.jobs = 8;
   const bench::SuiteResults parallel = bench::run_suite(cfg, o);
   expect_same_suite(serial, parallel);
+}
+
+TEST(Suite, BitIdenticalWithObservabilityAttached) {
+  // Attaching trace + metrics sinks (and the process registry that turns on
+  // exec profiling) must leave every virtual-time result bit-identical:
+  // sinks observe, never steer — even under parallel host execution.
+  bench::SuiteOptions o;
+  o.run.iters = 9;
+  o.streams = false;
+  o.remote_samples = 2;
+  o.contention_ns = {1, 2, 4};
+  o.jobs = 8;
+  const sim::MachineConfig bare_cfg = sim::knl7210();
+  const bench::SuiteResults bare = bench::run_suite(bare_cfg, o);
+
+  obs::NullSink sink;
+  obs::Registry reg;
+  obs::set_process_registry(&reg);
+  sim::MachineConfig traced_cfg = sim::knl7210();
+  traced_cfg.trace = &sink;
+  traced_cfg.metrics = &reg;
+  const bench::SuiteResults traced = bench::run_suite(traced_cfg, o);
+  obs::set_process_registry(nullptr);
+
+  expect_same_suite(bare, traced);
+  // And observation did actually happen.
+  EXPECT_GT(reg.counter("sim.machines"), 0.0);
+  EXPECT_GT(reg.counter("exec.jobs"), 0.0);
 }
 
 TEST(CollSweep, MatchesSerialRuns) {
