@@ -1,0 +1,178 @@
+// Differential fuzzing harness: randomized workloads over every
+// cluster x memory configuration, each schedule cross-checked by the
+// capmem::check layer (SC oracle, MESIF invariant sweeps, inline shadow).
+//
+// One pass runs --seeds schedules per configuration (15 configurations:
+// 5 cluster modes x 3 memory modes), fanned out over --jobs host workers
+// with exec-derived per-cell seeds, so stdout is identical for any worker
+// count. With --budget-seconds N the pass repeats with fresh seeds until
+// the wall budget runs out (the scheduled long-fuzz CI mode).
+//
+// On divergence the harness minimizes the first failing schedule (prefix
+// bisection + thread halving), writes a self-contained repro to
+// --repro-out, optionally re-runs it into a Chrome trace
+// (--trace-on-divergence), and exits nonzero.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "check/differ.hpp"
+#include "exec/experiment.hpp"
+#include "exec/seed.hpp"
+
+using namespace capmem;
+using namespace capmem::sim;
+using namespace capmem::check;
+
+namespace {
+
+struct ConfigCell {
+  ClusterMode cluster;
+  MemoryMode memory;
+  std::string name;
+};
+
+std::vector<ConfigCell> all_configs() {
+  std::vector<ConfigCell> cells;
+  for (ClusterMode cm : all_cluster_modes()) {
+    for (MemoryMode mm :
+         {MemoryMode::kFlat, MemoryMode::kCache, MemoryMode::kHybrid}) {
+      cells.push_back({cm, mm,
+                       std::string(to_string(cm)) + "/" + to_string(mm)});
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  obs::Session obs(cli, argc, argv);
+  const int seeds = static_cast<int>(cli.get_int(
+      "seeds", 70, "schedules per configuration per pass"));
+  const std::uint64_t base_seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1, "base seed"));
+  const int threads = static_cast<int>(
+      cli.get_int("threads", 10, "simulated threads per schedule"));
+  const int ops = static_cast<int>(
+      cli.get_int("ops", 160, "ops per simulated thread"));
+  const int data_lines = static_cast<int>(
+      cli.get_int("data-lines", 12, "shared data lines"));
+  const int counter_lines = static_cast<int>(
+      cli.get_int("counter-lines", 2, "fetch-add counter lines"));
+  const double budget = cli.get_double(
+      "budget-seconds", 0.0, "repeat with fresh seeds until exhausted");
+  const std::string repro_out = cli.get_string(
+      "repro-out", "fuzz_repro.txt", "divergence repro file");
+  const std::string trace_out = cli.get_string(
+      "trace-on-divergence", "",
+      "Chrome trace of the minimized divergence");
+  const int jobs = cli.get_jobs();
+  cli.finish();
+  obs.set_config("fuzz-diff all-modes");
+  obs.set_seed(base_seed);
+  obs.set_jobs(jobs);
+
+  const std::vector<ConfigCell> cells = all_configs();
+  const auto make_spec = [&](const ConfigCell& cell, std::uint64_t seed) {
+    WorkloadSpec spec;
+    spec.threads = threads;
+    spec.ops_per_thread = ops;
+    spec.data_lines = data_lines;
+    spec.counter_lines = counter_lines;
+    spec.seed = seed;
+    spec.cluster = cell.cluster;
+    spec.memory = cell.memory;
+    return spec;
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  std::vector<std::uint64_t> per_cell_schedules(cells.size(), 0);
+  std::vector<std::uint64_t> per_cell_divergences(cells.size(), 0);
+  std::uint64_t total_schedules = 0;
+  std::uint64_t total_divergences = 0;
+  bool have_failure = false;
+  WorkloadSpec first_failure;
+
+  int pass = 0;
+  do {
+    obs.phase("pass" + std::to_string(pass));
+    const int njobs = static_cast<int>(cells.size()) * seeds;
+    const std::vector<DiffOutcome> outcomes =
+        exec::parallel_map<DiffOutcome>(njobs, jobs, [&](int i) {
+          const std::size_t cell = static_cast<std::size_t>(i) /
+                                   static_cast<std::size_t>(seeds);
+          const std::size_t trial = static_cast<std::size_t>(i) %
+                                    static_cast<std::size_t>(seeds);
+          const std::uint64_t seed = exec::derive_seed(
+              base_seed + static_cast<std::uint64_t>(pass), cell, trial);
+          return run_diff(make_spec(cells[cell], seed));
+        });
+    for (int i = 0; i < njobs; ++i) {
+      const std::size_t cell = static_cast<std::size_t>(i) /
+                               static_cast<std::size_t>(seeds);
+      const DiffOutcome& o = outcomes[static_cast<std::size_t>(i)];
+      per_cell_schedules[cell]++;
+      total_schedules++;
+      if (o.ok) continue;
+      per_cell_divergences[cell]++;
+      total_divergences++;
+      if (!have_failure) {
+        have_failure = true;
+        first_failure = o.spec;
+        std::cout << "DIVERGENCE " << o.spec.label() << ":\n"
+                  << o.report << '\n';
+      }
+    }
+    ++pass;
+  } while (!have_failure && budget > 0 && elapsed_s() < budget);
+
+  Table t("fuzz-diff — schedules per configuration");
+  t.set_header({"config", "schedules", "divergences"});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    t.add_row({cells[c].name, std::to_string(per_cell_schedules[c]),
+               std::to_string(per_cell_divergences[c])});
+  }
+  benchbin::emit(t);
+
+  if (obs.metrics() != nullptr) {
+    obs.metrics()->add("check.schedules",
+                       static_cast<double>(total_schedules));
+    obs.metrics()->add("check.divergences",
+                       static_cast<double>(total_divergences));
+  }
+
+  if (have_failure) {
+    std::cout << "minimizing first divergence...\n";
+    const WorkloadSpec min_spec = minimize(first_failure);
+    DiffOutcome min_out;
+    if (!trace_out.empty()) {
+      obs::ChromeTraceWriter writer(trace_out);
+      min_out = run_diff(min_spec, &writer);
+      writer.flush();
+      std::cout << "trace: " << trace_out << '\n';
+    } else {
+      min_out = run_diff(min_spec);
+    }
+    std::ofstream repro(repro_out);
+    repro << repro_text(min_out.ok ? run_diff(first_failure) : min_out);
+    std::cout << "repro: " << repro_out << " (" << min_spec.label()
+              << ")\n";
+    std::cout << "FAIL fuzz-diff: " << total_schedules << " schedules, "
+              << total_divergences << " divergences\n";
+    return 1;
+  }
+  std::cout << "PASS fuzz-diff: " << total_schedules
+            << " schedules across " << cells.size()
+            << " configurations, 0 divergences\n";
+  return 0;
+}

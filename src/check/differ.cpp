@@ -1,0 +1,147 @@
+#include "check/differ.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace capmem::check {
+
+namespace {
+
+void mismatch(std::ostringstream& os, const char* what, int index,
+              std::uint64_t expect, std::uint64_t got) {
+  os << "  diff: " << what << '[' << index << "] expected " << expect
+     << ", simulator has " << got << '\n';
+}
+
+}  // namespace
+
+DiffOutcome run_diff(const WorkloadSpec& spec, obs::TraceSink* trace) {
+  DiffOutcome out;
+  out.spec = spec;
+  Checker checker(workload_config(spec));
+  const WorkloadResult r = run_workload(spec, &checker, trace);
+  out.violations = checker.violation_count();
+  out.elapsed = r.elapsed;
+
+  std::ostringstream os;
+  if (!r.ran) {
+    os << "  simulator threw: " << r.error << '\n';
+  } else {
+    for (int i = 0; i < spec.data_lines; ++i) {
+      const std::size_t li = static_cast<std::size_t>(i);
+      if (r.final_data[li] != r.expected_data[li])
+        mismatch(os, "data", i, r.expected_data[li], r.final_data[li]);
+      // The oracle saw only the access stream (no values); its last-writer
+      // prediction must reproduce the shadow's final value. encode_value is
+      // never 0, so shadow 0 means the line was never written.
+      const Oracle::WriterInfo* w = checker.oracle().writer(
+          r.data_base_line + static_cast<sim::Line>(i));
+      if (r.expected_data[li] == 0) {
+        if (w != nullptr)
+          os << "  diff: oracle saw " << w->total_writes
+             << " write(s) to untouched data[" << i << "]\n";
+      } else if (w == nullptr) {
+        os << "  diff: oracle saw no writes to data[" << i << "]\n";
+      } else if (encode_value(w->last_tid, w->last_count) !=
+                 r.expected_data[li]) {
+        mismatch(os, "oracle-predicted data", i, r.expected_data[li],
+                 encode_value(w->last_tid, w->last_count));
+      }
+    }
+    for (int i = 0; i < spec.counter_lines; ++i) {
+      const std::size_t li = static_cast<std::size_t>(i);
+      if (r.final_counter[li] != r.expected_counter[li])
+        mismatch(os, "counter", i, r.expected_counter[li],
+                 r.final_counter[li]);
+    }
+    for (int t = 0; t < spec.threads; ++t) {
+      const std::size_t ti = static_cast<std::size_t>(t);
+      if (r.final_slot[ti] != r.expected_slot[ti])
+        mismatch(os, "slot", t, r.expected_slot[ti], r.final_slot[ti]);
+    }
+  }
+  if (!checker.ok()) os << checker.report();
+
+  out.report = os.str();
+  out.ok = out.report.empty();
+  return out;
+}
+
+WorkloadSpec minimize(const WorkloadSpec& failing) {
+  WorkloadSpec best = failing;
+  // Shortest failing per-thread prefix. Divergence need not be monotone in
+  // the prefix length, but bisection still lands on *a* failing prefix.
+  int lo = 1;
+  int hi = failing.prefix < 0 ? failing.ops_per_thread : failing.prefix;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    WorkloadSpec probe = best;
+    probe.prefix = mid;
+    if (!run_diff(probe).ok) {
+      hi = mid;
+      best = probe;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  best.prefix = hi;
+  if (run_diff(best).ok) {
+    // The bisection's last probe passed at hi; fall back to the original.
+    best = failing;
+  }
+  // Fewer threads, while the failure persists.
+  while (best.threads > 1) {
+    WorkloadSpec probe = best;
+    probe.threads = std::max(1, best.threads / 2);
+    if (!run_diff(probe).ok) {
+      best = probe;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+std::string repro_text(const DiffOutcome& outcome) {
+  const WorkloadSpec& s = outcome.spec;
+  std::ostringstream os;
+  os << "capmem fuzz-diff divergence repro\n"
+     << "spec: " << s.label() << '\n'
+     << "  threads=" << s.threads << " data_lines=" << s.data_lines
+     << " counter_lines=" << s.counter_lines << " ops_per_thread="
+     << s.ops_per_thread << " prefix=" << s.prefix << " seed=" << s.seed
+     << '\n'
+     << "  cluster=" << sim::to_string(s.cluster) << " memory="
+     << sim::to_string(s.memory) << " sched=" << sim::to_string(s.sched)
+     << '\n'
+     << "violations: " << outcome.violations << '\n'
+     << "report:\n"
+     << outcome.report << "schedule (per thread, executed prefix):\n";
+  const auto ops = generate_ops(s);
+  const int nops = s.prefix < 0 ? s.ops_per_thread
+                                : std::min(s.prefix, s.ops_per_thread);
+  int emitted = 0;
+  for (int t = 0; t < s.threads && emitted < 4000; ++t) {
+    os << "  t" << t << ':';
+    for (int i = 0; i < nops && emitted < 4000; ++i, ++emitted) {
+      const Op& op = ops[static_cast<std::size_t>(t)]
+                        [static_cast<std::size_t>(i)];
+      os << ' ' << to_string(op.kind);
+      switch (op.kind) {
+        case OpKind::kRead:
+        case OpKind::kWrite:
+        case OpKind::kNtWrite:
+        case OpKind::kFlush: os << 'd' << op.arg; break;
+        case OpKind::kFetchAdd: os << 'c' << op.arg << '+' << op.val; break;
+        case OpKind::kCompute:
+          os << static_cast<int>(op.ns) << "ns";
+          break;
+        default: break;
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace capmem::check

@@ -1,0 +1,44 @@
+// Differential harness: simulator vs oracle vs inline SC shadow.
+//
+// One seeded schedule runs attached to a fresh Checker; divergence is any
+// of
+//   * a Checker violation (oracle version mismatch, MESIF invariant break,
+//     residency drift, home-CHA instability),
+//   * a CheckError thrown by the simulator's own assertions,
+//   * final memory differing from the inline SC shadow (data lines,
+//     counter sums, false-sharing slots),
+//   * the oracle's last-writer prediction differing from the shadow.
+// On divergence, `minimize` shrinks the schedule (prefix bisection, then
+// thread halving) and `repro_text` renders a self-contained repro: the
+// spec, the violation report, and the minimized per-thread op schedule.
+#pragma once
+
+#include <string>
+
+#include "check/workload.hpp"
+
+namespace capmem::check {
+
+struct DiffOutcome {
+  WorkloadSpec spec;            ///< exactly what ran (incl. prefix)
+  bool ok = true;
+  std::uint64_t violations = 0; ///< checker-recorded violation count
+  std::string report;           ///< empty when ok
+  double elapsed = 0;
+};
+
+/// Runs one schedule with full checking; see file comment for what counts
+/// as divergence. Optional `trace` feeds machine events and violation
+/// instants into a Chrome trace.
+DiffOutcome run_diff(const WorkloadSpec& spec,
+                     obs::TraceSink* trace = nullptr);
+
+/// Shrinks a diverging spec to a smaller one that still diverges: binary
+/// search for the shortest failing per-thread prefix, then halve the
+/// thread count while the failure persists. `failing` must diverge.
+WorkloadSpec minimize(const WorkloadSpec& failing);
+
+/// Self-contained repro text for a diverging outcome.
+std::string repro_text(const DiffOutcome& outcome);
+
+}  // namespace capmem::check

@@ -1,0 +1,55 @@
+// MESIF global invariant checking against the live machine state.
+//
+// Directory::check_entry validates an entry in isolation; this module
+// validates the entry *against the machine*: the directory's sharer sets
+// must agree with the actual L1/L2 tag arrays, L1 residency must be
+// included in the holding tile's L2 residency, and the home-CHA mapping
+// must resolve every line to the same directory tile for the whole run
+// (under all five cluster modes the mapping is a pure function of the
+// line). The cross-structure checks are what catch bugs the entry-local
+// ones cannot: a stale L2 tag the directory forgot, or an L1 copy in a
+// tile with no L2 backing.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "check/violation.hpp"
+
+namespace capmem::sim {
+class MemSystem;
+struct LineEntry;
+}  // namespace capmem::sim
+
+namespace capmem::check {
+
+class InvariantChecker {
+ public:
+  /// `tiles` / `cores` are the machine's active tile and core counts.
+  InvariantChecker(int tiles, int cores) : tiles_(tiles), cores_(cores) {}
+
+  /// Entry-local MESIF invariants plus the residency cross-check for one
+  /// line: M/E single owner, dirty implies owner, F implies a sharer,
+  /// directory sharer set == actual L2 residency, L1 bits == actual L1
+  /// residency and included in the holder tile's L2 set.
+  void check_entry(sim::Line line, const sim::LineEntry& e,
+                   const sim::MemSystem& mem,
+                   std::vector<Violation>& out) const;
+
+  /// Whole-machine sweep: check_entry over every tracked line, plus the
+  /// reverse direction — every resident L1/L2 tag must be backed by a
+  /// directory entry listing it (catches stale tags of dropped lines).
+  void sweep(const sim::MemSystem& mem, std::vector<Violation>& out) const;
+
+  /// Records a home-CHA resolution; a line resolving to two different home
+  /// tiles within one run is a violation in every cluster mode.
+  void note_home(sim::Line line, int home_tile, std::vector<Violation>& out);
+
+ private:
+  int tiles_;
+  int cores_;
+  std::unordered_map<std::uint64_t, int> homes_;  // line -> home tile
+};
+
+}  // namespace capmem::check

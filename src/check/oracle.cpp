@@ -1,0 +1,87 @@
+#include "check/oracle.hpp"
+
+#include <sstream>
+
+#include "sim/memsys.hpp"
+
+namespace capmem::check {
+
+std::string format_violations(const std::vector<Violation>& v,
+                              std::size_t max) {
+  std::ostringstream os;
+  std::size_t n = 0;
+  for (const Violation& x : v) {
+    if (n++ == max) {
+      os << "  ... (" << v.size() - max << " more)\n";
+      break;
+    }
+    os << "  [line " << x.line << " tid " << x.tid << " t " << x.t << "] "
+       << x.what << '\n';
+  }
+  return os.str();
+}
+
+void Oracle::observe(const sim::AccessRecord& rec,
+                     std::vector<Violation>& out) {
+  ++accesses_;
+  const auto fail = [&](const std::string& what) {
+    out.push_back(Violation{what, rec.line, rec.tid, rec.start});
+  };
+
+  if (rec.finish < rec.start) {
+    std::ostringstream os;
+    os << "oracle: access finishes before it starts (start " << rec.start
+       << ", finish " << rec.finish << ")";
+    fail(os.str());
+  }
+
+  if (rec.type == sim::AccessType::kWrite) {
+    ++writes_;
+    WriterInfo& w = writers_[rec.line];
+    // Stores commit in arrival order; a write arriving before the line's
+    // previous write would reorder committed values.
+    if (w.total_writes > 0 && rec.start < w.last_write_start) {
+      std::ostringstream os;
+      os << "oracle: write arrival went backwards (" << rec.start
+         << " after " << w.last_write_start << ")";
+      fail(os.str());
+    }
+    w.last_tid = rec.tid;
+    w.last_count = ++w.per_tid[rec.tid];
+    w.total_writes++;
+    w.last_write_start = rec.start;
+
+    // Every store — cached RFO, silent upgrade, or non-temporal — bumps the
+    // directory version by exactly one.
+    std::uint64_t& v = versions_[rec.line];
+    const std::uint64_t expect = v + 1;
+    if (rec.version_after != expect) {
+      std::ostringstream os;
+      os << "oracle: store left directory version " << rec.version_after
+         << ", model expects " << expect;
+      fail(os.str());
+    }
+    v = rec.version_after;  // resync so one fault is not reported N times
+    return;
+  }
+
+  // Reads never change the version. The entry may have been freshly
+  // (re-)created by this access, in which case the model adopts it.
+  const auto it = versions_.find(rec.line);
+  if (it == versions_.end()) {
+    versions_.emplace(rec.line, rec.version_after);
+  } else if (rec.version_after != it->second) {
+    std::ostringstream os;
+    os << "oracle: read changed directory version from " << it->second
+       << " to " << rec.version_after;
+    fail(os.str());
+    it->second = rec.version_after;
+  }
+}
+
+const Oracle::WriterInfo* Oracle::writer(sim::Line line) const {
+  const auto it = writers_.find(line);
+  return it == writers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace capmem::check

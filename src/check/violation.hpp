@@ -1,0 +1,28 @@
+// A divergence found by the model-based checking layer (capmem::check).
+//
+// Violations are *recorded*, never thrown: the hooks that produce them run
+// inside simulator hot paths and coroutine frames, where unwinding would
+// leave the machine half-transitioned. Harnesses inspect Checker::ok() /
+// report() after the run instead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/address.hpp"
+
+namespace capmem::check {
+
+struct Violation {
+  std::string what;     ///< human-readable description of the divergence
+  sim::Line line = 0;   ///< offending cache line, when line-related
+  int tid = -1;         ///< simulated thread involved, -1 if none
+  Nanos t = 0;          ///< virtual time of the offending event, when known
+};
+
+/// "what" strings of `v`, one per line, capped at `max` entries.
+std::string format_violations(const std::vector<Violation>& v,
+                              std::size_t max = 16);
+
+}  // namespace capmem::check

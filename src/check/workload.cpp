@@ -1,0 +1,212 @@
+#include "check/workload.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace capmem::check {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kRead: return "R";
+    case OpKind::kWrite: return "W";
+    case OpKind::kNtWrite: return "NTW";
+    case OpKind::kFetchAdd: return "FA";
+    case OpKind::kFalseShare: return "FS";
+    case OpKind::kStream: return "STRM";
+    case OpKind::kFlush: return "FLUSH";
+    case OpKind::kCompute: return "C";
+  }
+  return "?";
+}
+
+std::string WorkloadSpec::label() const {
+  std::ostringstream os;
+  os << sim::to_string(cluster) << '/' << sim::to_string(memory) << " t"
+     << threads << " ops" << ops_per_thread;
+  if (prefix >= 0) os << "[:" << prefix << ']';
+  os << " seed" << seed;
+  return os.str();
+}
+
+std::vector<std::vector<Op>> generate_ops(const WorkloadSpec& spec) {
+  std::vector<std::vector<Op>> all(static_cast<std::size_t>(spec.threads));
+  for (int t = 0; t < spec.threads; ++t) {
+    Rng rng(spec.seed * 1000003 + static_cast<std::uint64_t>(t));
+    auto& ops = all[static_cast<std::size_t>(t)];
+    ops.reserve(static_cast<std::size_t>(spec.ops_per_thread));
+    for (int i = 0; i < spec.ops_per_thread; ++i) {
+      Op op;
+      const std::uint64_t roll = rng.next_below(100);
+      const auto data_line = [&] {
+        return static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(spec.data_lines)));
+      };
+      if (roll < 30) {
+        op.kind = OpKind::kRead;
+        op.arg = data_line();
+      } else if (roll < 50) {
+        op.kind = OpKind::kWrite;
+        op.arg = data_line();
+      } else if (roll < 57) {
+        op.kind = OpKind::kNtWrite;
+        op.arg = data_line();
+      } else if (roll < 67) {
+        op.kind = OpKind::kFetchAdd;
+        op.arg = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(spec.counter_lines)));
+        op.val = 1 + rng.next_below(7);
+      } else if (roll < 80) {
+        op.kind = OpKind::kFalseShare;
+      } else if (roll < 86) {
+        op.kind = OpKind::kStream;
+      } else if (roll < 91) {
+        op.kind = OpKind::kFlush;
+        op.arg = data_line();
+      } else {
+        op.kind = OpKind::kCompute;
+        op.ns = rng.uniform(1.0, 40.0);
+      }
+      ops.push_back(op);
+    }
+  }
+  return all;
+}
+
+sim::MachineConfig workload_config(const WorkloadSpec& spec) {
+  sim::MachineConfig cfg = sim::knl7210(spec.cluster, spec.memory);
+  // Cache/hybrid runs shrink the memory-side tag array to a footprint the
+  // fuzz working set actually exercises (same scaling as test_fuzz).
+  if (spec.memory != sim::MemoryMode::kFlat) cfg.scale_memory(256);
+  cfg.seed = spec.seed;
+  return cfg;
+}
+
+WorkloadResult run_workload(const WorkloadSpec& spec, Checker* checker,
+                            obs::TraceSink* trace) {
+  using namespace capmem::sim;
+  CAPMEM_CHECK(spec.threads >= 1 && spec.data_lines >= 1 &&
+               spec.counter_lines >= 1);
+  MachineConfig cfg = workload_config(spec);
+  CAPMEM_CHECK(spec.threads <= cfg.hw_threads());
+  cfg.check = checker;
+  cfg.trace = trace;
+  if (checker != nullptr) checker->set_trace(trace);
+
+  const auto ops = generate_ops(spec);
+  const int nops = spec.prefix < 0
+                       ? spec.ops_per_thread
+                       : std::min(spec.prefix, spec.ops_per_thread);
+
+  WorkloadResult out;
+  out.expected_data.assign(static_cast<std::size_t>(spec.data_lines), 0);
+  out.expected_counter.assign(static_cast<std::size_t>(spec.counter_lines),
+                              0);
+  out.expected_slot.assign(static_cast<std::size_t>(spec.threads), 0);
+
+  Machine m(cfg);
+  const Addr data = m.alloc(
+      "data", static_cast<std::uint64_t>(spec.data_lines) * kLineBytes, {},
+      true);
+  out.data_base_line = line_of(data);
+  const Addr counters = m.alloc(
+      "counters",
+      static_cast<std::uint64_t>(spec.counter_lines) * kLineBytes, {}, true);
+  // One 64-bit slot per thread, eight to a line: false sharing by layout.
+  const Addr slots = m.alloc(
+      "slots", static_cast<std::uint64_t>(spec.threads) * 8, {}, true);
+  std::vector<Addr> priv(static_cast<std::size_t>(spec.threads));
+  for (int t = 0; t < spec.threads; ++t) {
+    priv[static_cast<std::size_t>(t)] =
+        m.alloc("priv" + std::to_string(t), KiB(4), {}, false);
+  }
+
+  const auto slot_list = make_schedule(cfg, spec.sched, spec.threads);
+  // Write counts per (thread, data line), feeding encode_value. Indexed
+  // [t][line]; only thread t touches row t, and the shadow vectors are
+  // updated in coroutine execution order == store commit order.
+  std::vector<std::vector<std::uint64_t>> wcount(
+      static_cast<std::size_t>(spec.threads),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(spec.data_lines),
+                                 0));
+  std::vector<std::uint64_t> fs_count(
+      static_cast<std::size_t>(spec.threads), 0);
+
+  for (int t = 0; t < spec.threads; ++t) {
+    m.add_thread(slot_list[static_cast<std::size_t>(t)],
+                 [&, t](Ctx& ctx) -> Task {
+      const auto& my_ops = ops[static_cast<std::size_t>(t)];
+      for (int i = 0; i < nops; ++i) {
+        const Op op = my_ops[static_cast<std::size_t>(i)];
+        const std::size_t li = static_cast<std::size_t>(op.arg);
+        switch (op.kind) {
+          case OpKind::kRead:
+            co_await ctx.read_u64(data + li * kLineBytes);
+            break;
+          case OpKind::kWrite:
+          case OpKind::kNtWrite: {
+            const std::uint64_t v = encode_value(
+                t, ++wcount[static_cast<std::size_t>(t)][li]);
+            out.expected_data[li] = v;
+            AccessOpts o;
+            o.nt = op.kind == OpKind::kNtWrite;
+            co_await ctx.write_u64(data + li * kLineBytes, v, o);
+            break;
+          }
+          case OpKind::kFetchAdd:
+            out.expected_counter[li] += op.val;
+            co_await ctx.fetch_add_u64(counters + li * kLineBytes, op.val);
+            break;
+          case OpKind::kFalseShare: {
+            const std::uint64_t v =
+                ++fs_count[static_cast<std::size_t>(t)];
+            out.expected_slot[static_cast<std::size_t>(t)] = v;
+            co_await ctx.write_u64(
+                slots + static_cast<std::uint64_t>(t) * 8, v);
+            break;
+          }
+          case OpKind::kStream:
+            co_await ctx.read_buf(priv[static_cast<std::size_t>(t)],
+                                  KiB(4));
+            break;
+          case OpKind::kFlush:
+            ctx.machine().memsys().flush_line(
+                line_of(data + li * kLineBytes));
+            break;
+          case OpKind::kCompute:
+            co_await ctx.compute(op.ns);
+            break;
+        }
+      }
+    });
+  }
+
+  try {
+    m.run();
+    m.memsys().directory().check_all();
+    if (checker != nullptr) checker->final_sweep(m.memsys());
+    out.ran = true;
+  } catch (const CheckError& e) {
+    out.error = e.what();
+    return out;
+  }
+
+  out.elapsed = m.elapsed();
+  out.dir_lines = m.memsys().directory().tracked_lines();
+  for (int i = 0; i < spec.data_lines; ++i) {
+    out.final_data.push_back(m.space().load<std::uint64_t>(
+        data + static_cast<std::uint64_t>(i) * kLineBytes));
+  }
+  for (int i = 0; i < spec.counter_lines; ++i) {
+    out.final_counter.push_back(m.space().load<std::uint64_t>(
+        counters + static_cast<std::uint64_t>(i) * kLineBytes));
+  }
+  for (int t = 0; t < spec.threads; ++t) {
+    out.final_slot.push_back(m.space().load<std::uint64_t>(
+        slots + static_cast<std::uint64_t>(t) * 8));
+  }
+  return out;
+}
+
+}  // namespace capmem::check

@@ -20,6 +20,7 @@ const char* to_string(EventKind k) {
     case EventKind::kDirLookup: return "dir-lookup";
     case EventKind::kNocHops: return "noc-hops";
     case EventKind::kChannelXfer: return "channel-xfer";
+    case EventKind::kCheckViolation: return "check-violation";
   }
   return "?";
 }
@@ -36,6 +37,7 @@ unsigned category_of(EventKind k) {
     case EventKind::kDirLookup: return kCatDirectory;
     case EventKind::kNocHops: return kCatNoc;
     case EventKind::kChannelXfer: return kCatChannel;
+    case EventKind::kCheckViolation: return kCatCheck;
   }
   return kCatTask;
 }
@@ -53,11 +55,12 @@ unsigned parse_categories(const std::string& csv) {
     else if (part == "directory") mask |= kCatDirectory;
     else if (part == "noc") mask |= kCatNoc;
     else if (part == "channel") mask |= kCatChannel;
+    else if (part == "check") mask |= kCatCheck;
     else {
       CAPMEM_CHECK_MSG(false, "unknown trace event category '"
                                   << part
                                   << "' (task, access, coherence, directory, "
-                                     "noc, channel, all)");
+                                     "noc, channel, check, all)");
     }
   }
   CAPMEM_CHECK_MSG(mask != 0, "empty trace event category list");
@@ -208,6 +211,17 @@ void ChromeTraceWriter::on_event(const TraceEvent& e) {
       s += buf;
       break;
     }
+    case EventKind::kCheckViolation:
+      // Divergence marks land on the offending core's track so the
+      // surrounding access/coherence context is one click away.
+      append_common(s, e.label != nullptr ? e.label : "divergence", "check",
+                    'i', kPidCores, e.core, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"s\":\"g\",\"args\":{\"tid\":%d,\"tile\":%d,"
+                    "\"line\":%" PRIu64 "}}",
+                    e.tid, e.tile, e.line);
+      s += buf;
+      break;
   }
   std::lock_guard<std::mutex> lk(mu_);
   if (closed_) return;

@@ -32,6 +32,7 @@ enum class EventKind : std::uint8_t {
   kNocHops,      ///< mesh traversal; a = hop count of the request path
   kChannelXfer,  ///< channel reservation; a = channel, dur = service,
                  ///<   queue_ns = controller queue delay, label = pool name
+  kCheckViolation,  ///< capmem::check divergence; label = checker message
 };
 
 const char* to_string(EventKind k);
@@ -44,7 +45,8 @@ enum : unsigned {
   kCatDirectory = 1u << 3,
   kCatNoc = 1u << 4,
   kCatChannel = 1u << 5,
-  kCatAll = (1u << 6) - 1,
+  kCatCheck = 1u << 6,
+  kCatAll = (1u << 7) - 1,
 };
 unsigned category_of(EventKind k);
 /// Parses a comma list of {task,access,coherence,directory,noc,channel,all};

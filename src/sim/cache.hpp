@@ -37,6 +37,15 @@ class SetAssocCache {
   int ways() const { return ways_; }
   std::uint64_t resident_lines() const;
 
+  /// Visits every resident line; order unspecified. Used by the
+  /// capmem::check residency sweeps (tag-array contents vs directory).
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const auto& set : sets_) {
+      for (const Entry& e : set) fn(e.line);
+    }
+  }
+
  private:
   struct Entry {
     Line line = 0;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "common/units.hpp"
 #include "sim/address.hpp"
@@ -71,6 +72,14 @@ class Directory {
   /// Sweeps every tracked line (test helper).
   void check_all() const {
     map_.for_each([](Line, const LineEntry& e) { check_entry(e); });
+  }
+
+  /// Visits every tracked (line, entry); order unspecified. Used by the
+  /// capmem::check global sweeps to cross-check the directory against the
+  /// actual cache residency.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each(std::forward<Fn>(fn));
   }
 
   std::size_t tracked_lines() const { return map_.size(); }

@@ -21,6 +21,8 @@ class Registry;
 
 namespace capmem::sim {
 
+class CheckHook;
+
 /// KNL cluster (NUMA-exposure) modes, paper §II.D.
 enum class ClusterMode { kA2A, kHemisphere, kQuadrant, kSNC2, kSNC4 };
 
@@ -189,6 +191,10 @@ struct MachineConfig {
   // virtual-time results (the disabled path is a single pointer test).
   obs::TraceSink* trace = nullptr;
   obs::Registry* metrics = nullptr;
+  /// Validation hook (capmem::check): observes every access, MESIF
+  /// transition and home-CHA resolution. Same contract as the observability
+  /// sinks — null by default, never steers, single-branch disabled path.
+  CheckHook* check = nullptr;
 
   int cores() const { return active_tiles * cores_per_tile; }
   int hw_threads() const { return cores() * threads_per_core; }

@@ -1,0 +1,71 @@
+// Validation hook seam of the memory system (capmem::check attaches here).
+//
+// A CheckHook is a pure observer of the simulator's execution stream: the
+// memory system reports every timed access (in execution order, which is the
+// order stores become architecturally visible), every MESIF directory
+// transition, every home-CHA resolution, and the untimed maintenance
+// operations (flush / entry drop / reset). Like obs::TraceSink, the hook is
+// carried by a nullable, non-owning MachineConfig pointer; the disabled path
+// is a single branch and attached hooks must never steer the simulation
+// (no RNG draws, no state mutation, no scheduling influence).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "sim/address.hpp"
+
+namespace capmem::sim {
+
+class MemSystem;
+struct LineEntry;
+struct AccessResult;
+struct Placement;
+enum class AccessType;
+
+/// One timed access, as reported to CheckHook::on_access.
+struct AccessRecord {
+  int tid = -1;
+  int core = -1;
+  int tile = -1;
+  Line line = 0;
+  AccessType type{};
+  bool nt = false;          ///< non-temporal store (bypassed the hierarchy)
+  bool streaming = false;   ///< part of a pipelined multi-line stream
+  Nanos start = 0;          ///< task clock when the access was issued
+  Nanos finish = 0;         ///< completion time (AccessResult::finish)
+  /// Directory version of the line after the access (0 when untracked).
+  std::uint64_t version_after = 0;
+};
+
+/// Observer interface for model-based checking. All callbacks fire
+/// synchronously from MemSystem in execution order.
+class CheckHook {
+ public:
+  virtual ~CheckHook() = default;
+
+  /// After every timed access (reads, writes, NT stores, streaming lines).
+  virtual void on_access(const AccessRecord& rec) = 0;
+
+  /// After a MESIF directory transition; `entry` is the post-transition
+  /// state and `mem` allows cross-structure queries (L1/L2 residency).
+  virtual void on_transition(Line line, const LineEntry& entry,
+                             const MemSystem& mem) = 0;
+
+  /// A directory request for `line` with allocation placement `place` was
+  /// resolved to home CHA `home_tile`.
+  virtual void on_dir_lookup(Line line, const Placement& place,
+                             int home_tile) = 0;
+
+  /// Untimed flush of `line` (harness reset primitive).
+  virtual void on_flush(Line line) = 0;
+
+  /// The directory entry of `line` was dropped (went globally invalid, e.g.
+  /// by L2 eviction of the last copy). Its version counter restarts at 0.
+  virtual void on_drop(Line line) = 0;
+
+  /// Untimed whole-machine reset (between experiments).
+  virtual void on_reset() = 0;
+};
+
+}  // namespace capmem::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/mutation.hpp"
+
 namespace capmem::sim {
 
 const char* to_string(Level level) {
@@ -46,7 +48,9 @@ MemSystem::MemSystem(const MachineConfig& cfg, const Topology& topo, Rng& rng)
     extra_sigma_ = cfg.noise.snc2_extra_sigma;
   trace_ = cfg.trace;
   metrics_ = cfg.metrics;
+  check_ = cfg.check;
   obs_on_ = trace_ != nullptr || metrics_ != nullptr;
+  tapped_ = obs_on_ || check_ != nullptr;
   dir_requests_.resize(static_cast<std::size_t>(cfg.active_tiles), 0);
   if (obs_on_) {
     queue_delay_.resize(static_cast<std::size_t>(cfg.hw_threads()));
@@ -202,6 +206,14 @@ void MemSystem::evict_l2_victim(int tile, Line victim, Nanos now) {
     ve->dirty = false;
   }
   dir_.drop_if_invalid(victim);
+  if (check_ != nullptr) {
+    const LineEntry* e = dir_.find(victim);
+    if (e != nullptr) {
+      check_->on_transition(victim, *e, *this);
+    } else {
+      check_->on_drop(victim);
+    }
+  }
 }
 
 void MemSystem::fill_caches(int core, int tile, Line line, LineEntry& e) {
@@ -215,13 +227,20 @@ void MemSystem::fill_caches(int core, int tile, Line line, LineEntry& e) {
 
 void MemSystem::invalidate_others(LineEntry& e, Line line, int keep_tile,
                                   int tid, Nanos now) {
+  bool stale_injected = false;
   for (int t = 0; t < topo_->active_tiles(); ++t) {
     if (t == keep_tile || !((e.l2_mask >> t) & 1ull)) continue;
     if (obs_on_) {
       note_coherence(tid, -1, t, line, Directory::state_in_tile(e, t),
                      TileState::kI, now, "invalidate");
     }
-    l2_[static_cast<std::size_t>(t)].erase(line);
+    if (mutation::is(mutation::Kind::kStaleL2Copy) && !stale_injected) {
+      // Fault injection (mutation-smoke builds only): leave the victim's
+      // L2 tag resident while the directory forgets the sharer.
+      stale_injected = true;
+    } else {
+      l2_[static_cast<std::size_t>(t)].erase(line);
+    }
     e.l2_mask &= ~(1ull << t);
     for (int c = topo_->first_core_of_tile(t);
          c < topo_->first_core_of_tile(t) + cfg_->cores_per_tile; ++c) {
@@ -336,13 +355,35 @@ AccessResult MemSystem::memory_access(int tid, int core, Line line,
 AccessResult MemSystem::access(int tid, int core, Line line,
                                const Placement& place, AccessType type,
                                const AccessOpts& opts, Nanos now) {
-  // The disabled observability path is this single branch: access_impl is
-  // the exact pre-obs access body, so default runs stay byte-identical.
-  if (!obs_on_) return access_impl(tid, core, line, place, type, opts, now);
+  // The disabled observability/checker path is this single branch:
+  // access_impl is the exact pre-obs access body, so default runs stay
+  // byte-identical.
+  if (!tapped_) return access_impl(tid, core, line, place, type, opts, now);
   const AccessResult res =
       access_impl(tid, core, line, place, type, opts, now);
-  note_access(tid, core, line, type, res, now);
+  if (obs_on_) note_access(tid, core, line, type, res, now);
+  if (check_ != nullptr) {
+    note_check_access(tid, core, line, type, opts, res, now);
+  }
   return res;
+}
+
+void MemSystem::note_check_access(int tid, int core, Line line,
+                                  AccessType type, const AccessOpts& opts,
+                                  const AccessResult& res, Nanos now) {
+  AccessRecord rec;
+  rec.tid = tid;
+  rec.core = core;
+  rec.tile = topo_->tile_of_core(core);
+  rec.line = line;
+  rec.type = type;
+  rec.nt = opts.nt;
+  rec.streaming = opts.streaming;
+  rec.start = now;
+  rec.finish = res.finish;
+  const LineEntry* e = dir_.find(line);
+  rec.version_after = e != nullptr ? e->version : 0;
+  check_->on_access(rec);
 }
 
 void MemSystem::note_access(int tid, int core, Line line, AccessType type,
@@ -495,6 +536,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     e.version++;
     e.last_write_visible = res.finish;
     Directory::check_entry(e);
+    note_transition(line, e);
     return res;
   }
 
@@ -538,6 +580,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
       }
       l1_insert(core, line, e);
       Directory::check_entry(e);
+      note_transition(line, e);
       return res;
     }
 
@@ -548,6 +591,9 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     if (obs_on_) {
       note_dir_lookup(tid, line, target.home_tile, now, svc_start,
                       e.service_available - svc_start);
+    }
+    if (check_ != nullptr) {
+      check_->on_dir_lookup(line, place, target.home_tile);
     }
 
     if (e.owner >= 0 && e.owner != tile) {
@@ -591,6 +637,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
       e.forward = tile;  // newest requester holds F (MESIF)
       fill_caches(core, tile, line, e);
       Directory::check_entry(e);
+      note_transition(line, e);
       return res;
     }
 
@@ -616,6 +663,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
         e.forward = tile;  // F migrates to the newest requester
         fill_caches(core, tile, line, e);
         Directory::check_entry(e);
+        note_transition(line, e);
         return res;
       }
       // Silent sharers only: memory supplies the data.
@@ -624,6 +672,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
       e.forward = tile;
       fill_caches(core, tile, line, e);
       Directory::check_entry(e);
+      note_transition(line, e);
       return res;
     }
 
@@ -634,6 +683,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     e.dirty = false;
     fill_caches(core, tile, line, e);
     Directory::check_entry(e);
+    note_transition(line, e);
     return res;
   }
 
@@ -666,9 +716,10 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     }
     e.dirty = true;
     l1_insert(core, line, e);
-    e.version++;
+    if (!mutation::is(mutation::Kind::kSkipVersionBump)) e.version++;
     e.last_write_visible = res.finish;
     Directory::check_entry(e);
+    note_transition(line, e);
     return res;
   }
 
@@ -679,6 +730,9 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
   if (obs_on_) {
     note_dir_lookup(tid, line, target.home_tile, now, svc_start,
                     e.service_available - svc_start);
+  }
+  if (check_ != nullptr) {
+    check_->on_dir_lookup(line, place, target.home_tile);
   }
 
   if (e.owner >= 0 && e.owner != tile) {
@@ -744,6 +798,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
   e.version++;
   e.last_write_visible = res.finish;
   Directory::check_entry(e);
+  note_transition(line, e);
   return res;
 }
 
@@ -764,6 +819,7 @@ void MemSystem::flush_line(Line line, bool drop_mcdram_cache) {
     e->forward = -1;
     e->dirty = false;
     dir_.drop_if_invalid(line);
+    if (check_ != nullptr) check_->on_flush(line);
   }
   if (drop_mcdram_cache) mc_cache_.erase(line);
 }
@@ -777,6 +833,7 @@ void MemSystem::reset() {
   for (auto& p : core_ports_) p.reset();
   for (auto& p : l2_supply_) p.reset();
   dir_.clear();
+  if (check_ != nullptr) check_->on_reset();
 }
 
 void MemSystem::clear_counters() {

@@ -24,6 +24,7 @@
 #include "sim/cache.hpp"
 #include "sim/coherence.hpp"
 #include "sim/config.hpp"
+#include "sim/hooks.hpp"
 #include "sim/mcdram_cache.hpp"
 #include "sim/mem_map.hpp"
 #include "sim/resource.hpp"
@@ -105,6 +106,21 @@ class MemSystem {
     return dir_.state_in_tile(line, tile);
   }
 
+  // --- cross-structure queries (capmem::check invariant sweeps) ---
+  bool line_in_l1(int core, Line line) const {
+    return l1_.at(static_cast<std::size_t>(core)).contains(line);
+  }
+  bool line_in_l2(int tile, Line line) const {
+    return l2_.at(static_cast<std::size_t>(tile)).contains(line);
+  }
+  const SetAssocCache& l1_cache(int core) const {
+    return l1_.at(static_cast<std::size_t>(core));
+  }
+  const SetAssocCache& l2_cache(int tile) const {
+    return l2_.at(static_cast<std::size_t>(tile));
+  }
+  const MemMap& mem_map() const { return map_; }
+
   /// Aggregate bytes of DRAM / MCDRAM channel traffic so far.
   double dram_busy_ns() const;
   double mcdram_busy_ns() const;
@@ -153,6 +169,14 @@ class MemSystem {
                          Nanos now);
   void l1_insert(int core, Line line, LineEntry& e);
 
+  // Validation taps (called only when check_ attached).
+  void note_transition(Line line, const LineEntry& e) {
+    if (check_ != nullptr) check_->on_transition(line, e, *this);
+  }
+  void note_check_access(int tid, int core, Line line, AccessType type,
+                         const AccessOpts& opts, const AccessResult& res,
+                         Nanos now);
+
   // Observability taps (called only when obs_on_).
   void note_access(int tid, int core, Line line, AccessType type,
                    const AccessResult& res, Nanos now);
@@ -191,7 +215,9 @@ class MemSystem {
   // merges them into the shared registry once per run.
   obs::TraceSink* trace_ = nullptr;
   obs::Registry* metrics_ = nullptr;
+  CheckHook* check_ = nullptr;
   bool obs_on_ = false;
+  bool tapped_ = false;  ///< obs_on_ || check_ attached (hot-path gate)
   std::vector<std::uint64_t> dir_requests_;  // per home tile
   std::uint64_t noc_hops_total_ = 0;
   obs::Log2Hist cha_queue_;                  // directory queueing delays

@@ -1,0 +1,32 @@
+# Golden-output regression check: runs BENCH with ARGS and byte-compares
+# its stdout against EXPECTED. Invoked by ctest (see tests/CMakeLists.txt):
+#
+#   cmake -DBENCH=<exe> -DARGS="--iters;5" -DEXPECTED=<file> -P compare.cmake
+#
+# The simulator is deterministic for a fixed seed at any --jobs, so the
+# checked-in files only change when simulated timing or table formatting
+# changes — both of which deserve a deliberate refresh:
+#
+#   <exe> <args> > tests/golden/<name>.txt
+if(NOT DEFINED BENCH OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "compare.cmake needs -DBENCH=... and -DEXPECTED=...")
+endif()
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${BENCH} ${ARG_LIST}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE bench_err
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with ${rc}:\n${bench_err}")
+endif()
+file(READ "${EXPECTED}" expected)
+if(NOT actual STREQUAL expected)
+  file(WRITE "${EXPECTED}.actual" "${actual}")
+  message(FATAL_ERROR
+    "stdout diverged from ${EXPECTED}\n"
+    "actual output written to ${EXPECTED}.actual\n"
+    "if the change is intentional, refresh the golden file:\n"
+    "  ${BENCH} ${ARGS} > ${EXPECTED}")
+endif()

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "check/differ.hpp"
 #include "common/rng.hpp"
 #include "sim/machine.hpp"
 
@@ -161,6 +162,61 @@ TEST(Fuzz, ManyThreadsHeavyContention) {
   const FuzzOutcome out = run_fuzz(fc);
   EXPECT_TRUE(out.monotonic);
   EXPECT_TRUE(out.finals_ok);
+}
+
+// --- differential sweep: check::run_diff over every cluster x memory mode ---
+//
+// The richer generator in capmem::check (NT stores, fetch-add counters,
+// false-sharing slots, flushes) plus the attached Checker (SC oracle +
+// MESIF sweeps) must agree with the simulator on every configuration the
+// paper models. Three fixed seeds per cell keep this inside ctest budget;
+// bench/fuzz_diff covers the deep sweep.
+
+struct DiffCell {
+  ClusterMode cluster;
+  MemoryMode memory;
+};
+
+std::vector<DiffCell> all_diff_cells() {
+  std::vector<DiffCell> cells;
+  for (ClusterMode cm : all_cluster_modes()) {
+    for (MemoryMode mm :
+         {MemoryMode::kFlat, MemoryMode::kCache, MemoryMode::kHybrid}) {
+      cells.push_back({cm, mm});
+    }
+  }
+  return cells;
+}
+
+class DiffSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffSweep, OracleAgreesInEveryConfiguration) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  for (const DiffCell& cell : all_diff_cells()) {
+    check::WorkloadSpec spec;
+    spec.threads = 6;
+    spec.ops_per_thread = 100;
+    spec.seed = seed;
+    spec.cluster = cell.cluster;
+    spec.memory = cell.memory;
+    const check::DiffOutcome out = check::run_diff(spec);
+    EXPECT_TRUE(out.ok) << spec.label() << '\n' << out.report;
+    EXPECT_EQ(out.violations, 0u) << spec.label();
+    EXPECT_GT(out.elapsed, 0) << spec.label();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffSweep, ::testing::Range(11, 14));
+
+TEST(DiffSweep, DeterministicOutcome) {
+  check::WorkloadSpec spec;
+  spec.threads = 8;
+  spec.ops_per_thread = 120;
+  spec.seed = 99;
+  const check::DiffOutcome a = check::run_diff(spec);
+  const check::DiffOutcome b = check::run_diff(spec);
+  ASSERT_TRUE(a.ok) << a.report;
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
 }
 
 }  // namespace
