@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   obs::Session obs(cli, argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 5));
   const std::string mode_s = cli.get_string("mode", "SNC4");
+  const int max_threads = static_cast<int>(cli.get_int(
+      "max-threads", 256, "cap the thread sweep (reduced golden/test runs)"));
   const int jobs = cli.get_jobs();
   cli.finish();
 
@@ -26,7 +28,9 @@ int main(int argc, char** argv) {
   obs.set_config("knl7210 " + mode_s + "/flat");
   obs.set_seed(cfg.seed);
   obs.set_jobs(jobs);
-  const std::vector<int> threads{1, 4, 8, 16, 32, 64, 128, 256};
+  std::vector<int> threads;
+  for (int n : {1, 4, 8, 16, 32, 64, 128, 256})
+    if (n <= max_threads) threads.push_back(n);
 
   Table t("Figure 9 — triad bandwidth vs threads (" + mode_s +
           "-flat) [GB/s]");

@@ -48,15 +48,31 @@ int main(int argc, char** argv) {
   const std::uint64_t cache_scale = static_cast<std::uint64_t>(cli.get_int(
       "cache_scale", 64,
       "memory scale divisor for cache-mode runs (footprint realism)"));
+  const std::string modes_s = cli.get_string(
+      "modes", "all",
+      "comma-separated cluster modes to run (reduced golden/test runs)");
   const int jobs = cli.get_jobs();
   cli.finish();
   obs.set_config("knl7210 all-modes/flat+cache");
   obs.set_jobs(jobs);
 
+  std::vector<ClusterMode> modes;
+  if (modes_s == "all") {
+    modes = all_cluster_modes();
+  } else {
+    for (std::size_t pos = 0; pos < modes_s.size();) {
+      std::size_t comma = modes_s.find(',', pos);
+      if (comma == std::string::npos) comma = modes_s.size();
+      modes.push_back(
+          cluster_mode_from_string(modes_s.substr(pos, comma - pos)));
+      pos = comma + 1;
+    }
+  }
+
   for (MemoryMode mem : {MemoryMode::kFlat, MemoryMode::kCache}) {
     obs.phase(std::string("suite-") + to_string(mem));
     std::vector<SuiteResults> results;
-    for (ClusterMode mode : all_cluster_modes()) {
+    for (ClusterMode mode : modes) {
       MachineConfig cfg = knl7210(mode, mem);
       if (mem == MemoryMode::kCache) cfg.scale_memory(cache_scale);
       benchbin::observe(obs, cfg);
@@ -68,7 +84,9 @@ int main(int argc, char** argv) {
     }
 
     Table t(std::string("Table II — memory (") + to_string(mem) + " mode)");
-    t.set_header({"row", "SNC4", "SNC2", "QUAD", "HEM", "A2A"});
+    std::vector<std::string> header{"row"};
+    for (ClusterMode mode : modes) header.push_back(to_string(mode));
+    t.set_header(header);
     {
       std::vector<std::string> cells{"Latency DRAM [ns]"};
       for (const auto& r : results)

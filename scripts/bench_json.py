@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Run bench/perf_sim and emit/check a tracked benchmark document.
+
+Two jobs, both driven from the perf_sim JSON dump (capmem.perf_sim.v1):
+
+  * Emit: run perf_sim, optionally join a recorded baseline run, and write a
+    capmem.bench_pr4.v1 document (BENCH_PR4.json) with events/sec, ns/event,
+    wall time and peak RSS per cell plus per-cell speedup vs the baseline.
+
+  * Check (--expect FILE): compare the DETERMINISTIC part of the fresh run —
+    steps and virt_ns per (workload, mode) cell — against the cells recorded
+    in FILE. Any mismatch exits nonzero. Timing is never compared: wall
+    clock, events/sec and RSS are informational and may move with the host.
+    This is the CI perf-smoke gate.
+
+Examples:
+  python3 scripts/bench_json.py --perf-sim build/bench/perf_sim \
+      --baseline BENCH_PR4.json --out BENCH_PR4.json
+  python3 scripts/bench_json.py --perf-sim build/bench/perf_sim \
+      --quick --expect BENCH_PR4.json --out bench_smoke.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_perf_sim(binary, quick, reps, extra):
+    """Runs perf_sim with a --json-out temp file and returns the parsed doc."""
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="perf_sim_")
+    os.close(fd)
+    cmd = [binary, "--json-out", path]
+    if quick:
+        cmd.append("--quick")
+    if reps is not None:
+        cmd += ["--reps", str(reps)]
+    cmd += extra
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        if proc.returncode != 0:
+            sys.exit("bench_json: perf_sim exited %d" % proc.returncode)
+        with open(path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(path)
+
+
+def cells_of(doc, quick=False):
+    """Cell list keyed by (workload, mode) from either schema. For a
+    bench_pr4 doc, `quick` selects the quick_run section (the CI smoke
+    shape) instead of the full run."""
+    rows = doc.get("results")
+    if rows is None:  # bench_pr4 doc
+        section = "quick_run" if quick else "run"
+        rows = doc.get(section, {}).get("results", [])
+    return {(r["workload"], r["mode"]): r for r in rows}
+
+
+def check_expected(run_doc, expect_doc, quick=False):
+    """Compares steps/virt_ns per cell; returns a list of mismatch strings."""
+    got = cells_of(run_doc)
+    want = cells_of(expect_doc, quick=quick)
+    errors = []
+    if not want:
+        return ["expected document has no %s cells"
+                % ("quick_run" if quick else "run")]
+    for key, w in sorted(want.items()):
+        g = got.get(key)
+        if g is None:
+            errors.append("missing cell %s/%s" % key)
+            continue
+        for field in ("steps", "virt_ns", "threads"):
+            if g.get(field) != w.get(field):
+                errors.append(
+                    "%s/%s %s: got %r want %r"
+                    % (key[0], key[1], field, g.get(field), w.get(field))
+                )
+    return errors
+
+
+def enrich(rows):
+    """Adds derived ns/event to each cell (events/sec is already recorded)."""
+    for r in rows:
+        steps = r.get("steps", 0)
+        wall = r.get("best_wall_s", 0.0)
+        r["ns_per_event"] = 1e9 * wall / steps if steps > 0 else 0.0
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--perf-sim", required=True, help="path to the binary")
+    ap.add_argument("--quick", action="store_true", help="reduced sizes")
+    ap.add_argument("--reps", type=int, default=None)
+    ap.add_argument("--out", default=None, help="write the document here")
+    ap.add_argument(
+        "--baseline",
+        default=None,
+        help="recorded run (perf_sim or bench_pr4 JSON) to join and "
+        "compute speedups against",
+    )
+    ap.add_argument(
+        "--record-quick",
+        action="store_true",
+        help="additionally run perf_sim --quick and record its cells as "
+        "quick_run (what CI's --quick --expect checks against)",
+    )
+    ap.add_argument(
+        "--expect",
+        default=None,
+        help="recorded run whose deterministic cells (steps, virt_ns) must "
+        "match this run exactly; mismatch exits 2",
+    )
+    ap.add_argument(
+        "extra", nargs="*", help="extra perf_sim args after '--'"
+    )
+    args = ap.parse_args()
+
+    run = run_perf_sim(args.perf_sim, args.quick, args.reps, args.extra)
+    enrich(run.get("results", []))
+    section = "quick_run" if args.quick else "run"
+    doc = {"schema": "capmem.bench_pr4.v1", section: run}
+    if args.record_quick and not args.quick:
+        quick_run = run_perf_sim(args.perf_sim, True, None, args.extra)
+        enrich(quick_run.get("results", []))
+        doc["quick_run"] = quick_run
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            base_doc = json.load(f)
+        base = base_doc.get("run", base_doc) if "run" in base_doc else base_doc
+        if "baseline" in base_doc:  # chain: keep the oldest recorded run
+            base = base_doc["baseline"]
+        enrich(base.get("results", []))
+        doc["baseline"] = base
+        speedup = {}
+        base_cells = cells_of({"results": base.get("results", [])})
+        for key, r in cells_of(run).items():
+            b = base_cells.get(key)
+            if b and b.get("events_per_sec", 0) > 0:
+                speedup["%s %s" % key] = round(
+                    r["events_per_sec"] / b["events_per_sec"], 3
+                )
+        doc["speedup_events_per_sec"] = speedup
+
+    rc = 0
+    if args.expect:
+        with open(args.expect) as f:
+            expect_doc = json.load(f)
+        errors = check_expected(run, expect_doc, quick=args.quick)
+        if errors:
+            for e in errors:
+                print("CHECKSUM MISMATCH:", e, file=sys.stderr)
+            rc = 2
+        else:
+            n = len(cells_of(expect_doc, quick=args.quick))
+            print("checksums match (%d cells)" % n, file=sys.stderr)
+
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    sys.exit(rc)
+
+
+if __name__ == "__main__":
+    main()

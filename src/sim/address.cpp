@@ -22,39 +22,31 @@ Addr AddressSpace::alloc(std::string name, std::uint64_t bytes,
 void AddressSpace::free(Addr base) {
   const auto it = allocs_.find(base);
   CAPMEM_CHECK_MSG(it != allocs_.end(), "free of unknown base " << base);
+  if (last_ == &it->second) last_ = nullptr;
   allocs_.erase(it);
 }
 
 bool AddressSpace::valid(Addr a) const {
-  auto it = allocs_.upper_bound(a);
-  if (it == allocs_.begin()) return false;
-  --it;
-  return it->second.info.contains(a);
+  return const_cast<AddressSpace*>(this)->lookup_slot(a) != nullptr;
 }
 
 const Allocation& AddressSpace::find(Addr a) const {
-  auto it = allocs_.upper_bound(a);
-  CAPMEM_CHECK_MSG(it != allocs_.begin(), "wild address " << a);
-  --it;
-  CAPMEM_CHECK_MSG(it->second.info.contains(a),
-                   "address " << a << " past end of allocation '"
-                              << it->second.info.name << "'");
-  return it->second.info;
+  Slot* slot = const_cast<AddressSpace*>(this)->lookup_slot(a);
+  CAPMEM_CHECK_MSG(slot != nullptr, "wild address " << a);
+  return slot->info;
 }
 
 std::byte* AddressSpace::data(Addr a, std::uint64_t bytes) {
-  auto it = allocs_.upper_bound(a);
-  CAPMEM_CHECK_MSG(it != allocs_.begin(), "wild address " << a);
-  --it;
-  Slot& slot = it->second;
-  CAPMEM_CHECK_MSG(slot.info.contains(a) && a + bytes <= slot.info.end(),
+  Slot* slot = lookup_slot(a);
+  CAPMEM_CHECK_MSG(slot != nullptr, "wild address " << a);
+  CAPMEM_CHECK_MSG(a + bytes <= slot->info.end(),
                    "access [" << a << "," << a + bytes
-                              << ") crosses allocation '" << slot.info.name
+                              << ") crosses allocation '" << slot->info.name
                               << "'");
-  CAPMEM_CHECK_MSG(slot.info.has_data,
-                   "data access to dataless allocation '" << slot.info.name
+  CAPMEM_CHECK_MSG(slot->info.has_data,
+                   "data access to dataless allocation '" << slot->info.name
                                                           << "'");
-  return slot.storage.data() + (a - slot.info.base);
+  return slot->storage.data() + (a - slot->info.base);
 }
 
 const std::byte* AddressSpace::data(Addr a, std::uint64_t bytes) const {

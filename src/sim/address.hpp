@@ -92,9 +92,23 @@ class AddressSpace {
     Allocation info;
     std::vector<std::byte> storage;  // empty when !has_data
   };
+  /// Slot covering `a`, or nullptr. Caches the last hit: accesses cluster
+  /// heavily within one buffer, so most lookups skip the tree walk
+  /// (map nodes are stable, the cache is only dropped on free()).
+  Slot* lookup_slot(Addr a) {
+    if (last_ != nullptr && last_->info.contains(a)) return last_;
+    auto it = allocs_.upper_bound(a);
+    if (it == allocs_.begin()) return nullptr;
+    --it;
+    if (!it->second.info.contains(a)) return nullptr;
+    last_ = &it->second;
+    return last_;
+  }
+
   static constexpr Addr kBase = 0x10000;  // keep 0 invalid
   Addr next_ = kBase;
   std::map<Addr, Slot> allocs_;  // keyed by base
+  Slot* last_ = nullptr;
 };
 
 }  // namespace capmem::sim

@@ -1,7 +1,5 @@
 #include "sim/cache.hpp"
 
-#include <algorithm>
-
 namespace capmem::sim {
 
 SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, int ways)
@@ -10,64 +8,11 @@ SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, int ways)
   const std::uint64_t per_way = kLineBytes * static_cast<std::uint64_t>(ways);
   CAPMEM_CHECK_MSG(capacity_bytes % per_way == 0,
                    "capacity must be a multiple of ways*64");
-  const std::uint64_t nsets = capacity_bytes / per_way;
-  CAPMEM_CHECK(nsets > 0);
-  sets_.resize(nsets);
-  for (auto& s : sets_) s.reserve(static_cast<std::size_t>(ways));
-}
-
-bool SetAssocCache::lookup(Line line) {
-  auto& set = set_of(line);
-  for (auto& e : set) {
-    if (e.line == line) {
-      e.stamp = ++clock_;
-      return true;
-    }
-  }
-  return false;
-}
-
-bool SetAssocCache::contains(Line line) const {
-  const auto& set = set_of(line);
-  for (const auto& e : set)
-    if (e.line == line) return true;
-  return false;
-}
-
-std::optional<Line> SetAssocCache::insert(Line line) {
-  auto& set = set_of(line);
-  CAPMEM_DCHECK(!contains(line));
-  if (static_cast<int>(set.size()) < ways_) {
-    set.push_back(Entry{line, ++clock_});
-    return std::nullopt;
-  }
-  auto victim = std::min_element(
-      set.begin(), set.end(),
-      [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
-  const Line evicted = victim->line;
-  *victim = Entry{line, ++clock_};
-  return evicted;
-}
-
-bool SetAssocCache::erase(Line line) {
-  auto& set = set_of(line);
-  for (auto it = set.begin(); it != set.end(); ++it) {
-    if (it->line == line) {
-      set.erase(it);
-      return true;
-    }
-  }
-  return false;
-}
-
-void SetAssocCache::clear() {
-  for (auto& s : sets_) s.clear();
-}
-
-std::uint64_t SetAssocCache::resident_lines() const {
-  std::uint64_t n = 0;
-  for (const auto& s : sets_) n += s.size();
-  return n;
+  nsets_ = capacity_bytes / per_way;
+  CAPMEM_CHECK(nsets_ > 0);
+  if ((nsets_ & (nsets_ - 1)) == 0) mask_ = nsets_ - 1;
+  lines_.resize(nsets_ * static_cast<std::uint64_t>(ways));
+  stamps_.resize(nsets_ * static_cast<std::uint64_t>(ways));
 }
 
 }  // namespace capmem::sim

@@ -1,8 +1,17 @@
 // Set-associative tag array with LRU replacement, used for the per-core L1s
 // and the per-tile L2s. Tracks presence only — data lives in the address
 // space; coherence state lives in the directory.
+//
+// Storage is two contiguous (nsets * ways) planes — line tags and LRU
+// stamps — instead of a per-set heap vector; stamp == 0 marks an empty way
+// (the LRU clock starts at 1). Tags and stamps are split so presence scans
+// (contains/erase, the miss-heavy operations) touch half the bytes of an
+// interleaved layout. The accessors are defined inline: they sit on the
+// per-access hot path of MemSystem and are called tens of millions of times
+// per simulated second.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -19,48 +28,105 @@ class SetAssocCache {
   SetAssocCache(std::uint64_t capacity_bytes, int ways);
 
   /// True when `line` is resident; touching updates LRU order.
-  bool lookup(Line line);
+  bool lookup(Line line) {
+    const std::size_t base = set_base(line);
+    for (int w = 0; w < ways_; ++w) {
+      if (stamps_[base + w] != 0 && lines_[base + w] == line) {
+        stamps_[base + w] = ++clock_;
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Presence test without LRU update.
-  bool contains(Line line) const;
+  bool contains(Line line) const {
+    const std::size_t base = set_base(line);
+    for (int w = 0; w < ways_; ++w) {
+      if (stamps_[base + w] != 0 && lines_[base + w] == line) return true;
+    }
+    return false;
+  }
 
   /// Inserts `line` (must not be resident); returns the evicted line, if
   /// the target set was full.
-  std::optional<Line> insert(Line line);
+  std::optional<Line> insert(Line line) {
+    const std::size_t base = set_base(line);
+    CAPMEM_DCHECK(!contains(line));
+    // One pass: first empty way, else the LRU victim (stamps are unique, so
+    // the minimum is unambiguous).
+    int empty = -1;
+    int victim = 0;
+    for (int w = 0; w < ways_; ++w) {
+      if (stamps_[base + w] == 0) {
+        empty = w;
+        break;
+      }
+      if (stamps_[base + w] < stamps_[base + victim]) victim = w;
+    }
+    if (empty >= 0) {
+      lines_[base + empty] = line;
+      stamps_[base + empty] = ++clock_;
+      ++resident_;
+      return std::nullopt;
+    }
+    const Line evicted = lines_[base + victim];
+    lines_[base + victim] = line;
+    stamps_[base + victim] = ++clock_;
+    return evicted;
+  }
 
   /// Removes `line` if resident; returns whether it was.
-  bool erase(Line line);
+  bool erase(Line line) {
+    const std::size_t base = set_base(line);
+    for (int w = 0; w < ways_; ++w) {
+      if (stamps_[base + w] != 0 && lines_[base + w] == line) {
+        stamps_[base + w] = 0;
+        lines_[base + w] = 0;
+        --resident_;
+        return true;
+      }
+    }
+    return false;
+  }
 
   /// Drops everything (used by flush-style benchmark resets).
-  void clear();
+  void clear() {
+    std::fill(lines_.begin(), lines_.end(), 0);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    resident_ = 0;
+  }
 
-  int sets() const { return static_cast<int>(sets_.size()); }
+  int sets() const { return static_cast<int>(nsets_); }
   int ways() const { return ways_; }
-  std::uint64_t resident_lines() const;
+  std::uint64_t resident_lines() const { return resident_; }
 
   /// Visits every resident line; order unspecified. Used by the
   /// capmem::check residency sweeps (tag-array contents vs directory).
   template <typename Fn>
   void for_each_line(Fn&& fn) const {
-    for (const auto& set : sets_) {
-      for (const Entry& e : set) fn(e.line);
+    for (std::size_t i = 0; i < stamps_.size(); ++i) {
+      if (stamps_[i] != 0) fn(lines_[i]);
     }
   }
 
  private:
-  struct Entry {
-    Line line = 0;
-    std::uint64_t stamp = 0;  // higher = more recently used
-  };
-  std::vector<Entry>& set_of(Line line) {
-    return sets_[line % sets_.size()];
+  std::size_t set_index(Line line) const {
+    // nsets is a power of two for every real configuration; scaled test
+    // machines may produce odd counts, hence the modulo fallback.
+    return mask_ != 0 ? (line & mask_) : (line % nsets_);
   }
-  const std::vector<Entry>& set_of(Line line) const {
-    return sets_[line % sets_.size()];
+  std::size_t set_base(Line line) const {
+    return set_index(line) * static_cast<std::size_t>(ways_);
   }
 
   int ways_;
+  std::uint64_t nsets_;
+  std::uint64_t mask_ = 0;  // nsets - 1 when nsets is a power of two
   std::uint64_t clock_ = 0;
-  std::vector<std::vector<Entry>> sets_;
+  std::uint64_t resident_ = 0;
+  std::vector<Line> lines_;           // tag plane
+  std::vector<std::uint64_t> stamps_;  // LRU plane; 0 = empty way
 };
 
 }  // namespace capmem::sim

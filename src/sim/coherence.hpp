@@ -18,6 +18,7 @@
 #include "common/units.hpp"
 #include "sim/address.hpp"
 #include "sim/line_table.hpp"
+#include "sim/mem_map.hpp"
 
 namespace capmem::sim {
 
@@ -43,6 +44,14 @@ struct LineEntry {
   /// Bumped on every store; spin-waiting is "wait until version changes".
   std::uint64_t version = 0;
 
+  /// Memoized physical target. The address map is a pure function of
+  /// (line, placement), and virtual addresses are never reused within a
+  /// machine, so a line's target is fixed for the whole run; resolving it
+  /// once per line instead of once per access keeps the hash-and-route
+  /// arithmetic off the hot path.
+  MemTarget target;
+  bool target_valid = false;
+
   bool present_in_tile(int tile) const {
     return (l2_mask >> tile) & 1ull;
   }
@@ -53,7 +62,15 @@ class Directory {
  public:
   /// Entry for `line`, creating an Invalid one if absent. The reference is
   /// stable until this line is dropped.
-  LineEntry& entry(Line line) { return map_.get_or_create(line); }
+  LineEntry& entry(Line line) {
+    // One-slot cache: spin-waits and RFO sequences hit the same line many
+    // times in a row. Pool references are stable (deque-backed), so the
+    // pointer survives unrelated inserts; it is dropped on erase/clear.
+    if (line == last_line_ && last_entry_ != nullptr) return *last_entry_;
+    last_line_ = line;
+    last_entry_ = &map_.get_or_create(line);
+    return *last_entry_;
+  }
   /// Entry if tracked, nullptr otherwise.
   const LineEntry* find(Line line) const { return map_.find(line); }
   LineEntry* find(Line line) { return map_.find(line); }
@@ -84,10 +101,15 @@ class Directory {
 
   std::size_t tracked_lines() const { return map_.size(); }
 
-  void clear() { map_.clear(); }
+  void clear() {
+    map_.clear();
+    last_entry_ = nullptr;
+  }
 
  private:
   LineTable<LineEntry> map_;
+  Line last_line_ = ~0ull;
+  LineEntry* last_entry_ = nullptr;
 };
 
 }  // namespace capmem::sim

@@ -65,23 +65,43 @@ int Engine::spawn(Task task, Nanos start) {
   h.promise().tid = tid;
   h.promise().clock = start;
   tasks_.push_back(h);
-  run_q_.push(QEntry{start, seq_++, h, {}});
+  run_q_.push(start, task_payload(h));
   ++live_;
   return tid;
 }
 
 void Engine::requeue(Task::Handle h) {
-  run_q_.push(QEntry{h.promise().clock, seq_++, h, {}});
+  run_q_.push(h.promise().clock, task_payload(h));
 }
 
 void Engine::schedule(Nanos t, std::function<void()> fn) {
-  run_q_.push(QEntry{t, seq_++, {}, std::move(fn)});
+  std::uint32_t idx;
+  if (!cb_free_.empty()) {
+    idx = cb_free_.back();
+    cb_free_.pop_back();
+    cb_pool_[idx] = std::move(fn);
+  } else {
+    idx = static_cast<std::uint32_t>(cb_pool_.size());
+    cb_pool_.push_back(std::move(fn));
+  }
+  run_q_.push(t, (static_cast<std::uint64_t>(idx) << 1) | 1);
+}
+
+void Engine::run_callback(std::uint64_t payload) {
+  const auto idx = static_cast<std::uint32_t>(payload >> 1);
+  // Move out before invoking: the callback may schedule() and reuse the
+  // slot.
+  std::function<void()> fn = std::move(cb_pool_[idx]);
+  cb_pool_[idx] = nullptr;
+  cb_free_.push_back(idx);
+  fn();
 }
 
 void Engine::park(std::uint64_t key, Task::Handle h,
                   std::function<bool(Nanos)> try_wake) {
   const Nanos at = h.promise().clock;
-  parked_[key].push_back(Waiter{h, std::move(try_wake), at});
+  park_filter_ |= filter_bit(key);
+  parked_.get_or_create(key).push_back(Waiter{h, std::move(try_wake), at});
   if (trace_) {
     emit_task_event(trace_, obs::EventKind::kTaskPark, at, h.promise().tid,
                     key);
@@ -89,25 +109,34 @@ void Engine::park(std::uint64_t key, Task::Handle h,
 }
 
 void Engine::notify(std::uint64_t key, Nanos visible) {
-  const auto it = parked_.find(key);
-  if (it == parked_.end()) return;
-  auto& waiters = it->second;
-  for (std::size_t i = 0; i < waiters.size();) {
-    if (waiters[i].try_wake(visible)) {
-      Task::Handle h = waiters[i].h;
+  // Every store notifies its line, but almost all lines never have a waiter:
+  // one branch against the presence filter skips the table probe entirely.
+  if ((park_filter_ & filter_bit(key)) == 0) return;
+  WaiterList* waiters = parked_.find(key);
+  if (waiters == nullptr) return;
+  for (std::size_t i = 0; i < waiters->size();) {
+    if ((*waiters)[i].try_wake(visible)) {
+      Task::Handle h = (*waiters)[i].h;
       if (trace_) {
         // The parked interval as one slice: park time to the woken clock.
         emit_task_event(trace_, obs::EventKind::kTaskUnpark,
-                        waiters[i].parked_at, h.promise().tid, key,
-                        h.promise().clock - waiters[i].parked_at);
+                        (*waiters)[i].parked_at, h.promise().tid, key,
+                        h.promise().clock - (*waiters)[i].parked_at);
       }
       requeue(h);
-      waiters.erase(waiters.begin() + static_cast<std::ptrdiff_t>(i));
+      waiters->erase(i);  // ordered erase: wakeups stay FIFO within a key
     } else {
       ++i;
     }
   }
-  if (waiters.empty()) parked_.erase(it);
+  // Reclaim the slot on wake-all so hot flag lines don't grow the table
+  // monotonically (the free-listed pool reuses it on the next park).
+  if (waiters->empty()) {
+    parked_.erase(key);
+    // The filter cannot forget single keys; re-arm it whenever the table
+    // drains (frequent: every barrier release empties it).
+    if (parked_.size() == 0) park_filter_ = 0;
+  }
 }
 
 void Engine::release_sync() {
@@ -150,20 +179,21 @@ void Engine::run() {
   CAPMEM_CHECK(!running_);
   running_ = true;
   while (!run_q_.empty()) {
-    const QEntry e = run_q_.top();
-    run_q_.pop();
+    const EventQueue::Entry e = run_q_.pop_min();
     CAPMEM_DCHECK(e.t + 1e-6 >= global_time_);
     global_time_ = std::max(global_time_, e.t);
     ++steps_;
-    if (e.h) {
+    if ((e.payload & 1) == 0) {
+      const auto h =
+          Task::Handle::from_address(reinterpret_cast<void*>(e.payload));
       if (trace_) {
         emit_task_event(trace_, obs::EventKind::kTaskResume, e.t,
-                        e.h.promise().tid);
+                        h.promise().tid);
       }
-      e.h.resume();
-      if (e.h.promise().done) finish(e.h);
+      h.resume();
+      if (h.promise().done) finish(h);
     } else {
-      e.fn();
+      run_callback(e.payload);
     }
   }
   running_ = false;
@@ -175,7 +205,7 @@ void Engine::report_deadlock() const {
   os << "simulation deadlock at t=" << global_time_ << " ns: " << live_
      << " task(s) blocked;";
   std::size_t parked_count = 0;
-  for (const auto& [key, ws] : parked_) {
+  parked_.for_each([&](std::uint64_t key, const WaiterList& ws) {
     parked_count += ws.size();
     os << " line " << key << " <- {";
     for (const auto& w : ws) {
@@ -183,7 +213,7 @@ void Engine::report_deadlock() const {
          << ")";
     }
     os << " }";
-  }
+  });
   if (!sync_q_.empty()) {
     os << " barrier holds " << sync_q_.size() << " arrival(s) from {";
     for (Task::Handle w : sync_q_) os << " tid " << w.promise().tid;

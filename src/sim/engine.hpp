@@ -16,14 +16,15 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/line_table.hpp"
+#include "sim/small_vec.hpp"
 
 namespace capmem::obs {
 class TraceSink;
@@ -138,6 +139,13 @@ class Engine {
   int total_tasks() const { return static_cast<int>(tasks_.size()); }
   std::uint64_t steps() const { return steps_; }
 
+  /// Wait keys currently holding at least one parked task.
+  std::size_t parked_keys() const { return parked_.size(); }
+  /// Waiter-list slots ever allocated by the park table (free-listed and
+  /// reused after wake-all, so this plateaus on steady-state workloads —
+  /// the memory-stability gauge tests assert exactly that).
+  std::size_t parked_pool_slots() const { return parked_.pool_slots(); }
+
   /// Handle of task `tid` (valid between spawn and engine destruction).
   Task::Handle task_handle(int tid) const {
     return tasks_.at(static_cast<std::size_t>(tid));
@@ -168,32 +176,43 @@ class Engine {
   void sync_arrive(Task::Handle h);
 
  private:
-  struct QEntry {
-    Nanos t;
-    std::uint64_t seq;
-    Task::Handle h;                  // null for callback entries
-    std::function<void()> fn;        // set when h is null
-    bool operator>(const QEntry& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
-  };
   struct Waiter {
     Task::Handle h;
     std::function<bool(Nanos)> try_wake;
     Nanos parked_at = 0;  ///< clock at park time (trace + diagnostics)
   };
+  using WaiterList = SmallVec<Waiter, 4>;
+
+  // Queue payloads are a tagged word: task entries carry the coroutine
+  // frame address (always even), callback entries carry (pool index << 1)
+  // | 1 — a queue entry is 24 bytes instead of the 56 the old QEntry with
+  // an inline std::function needed.
+  static std::uint64_t task_payload(Task::Handle h) {
+    const auto p = reinterpret_cast<std::uint64_t>(h.address());
+    CAPMEM_DCHECK((p & 1) == 0);
+    return p;
+  }
 
   void finish(Task::Handle h);
   void release_sync();
+  void run_callback(std::uint64_t payload);
   [[noreturn]] void report_deadlock() const;
 
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> run_q_;
-  std::unordered_map<std::uint64_t, std::vector<Waiter>> parked_;
+  EventQueue run_q_;
+  LineTable<WaiterList> parked_;
+  /// 64-bit presence filter over parked wait keys: a zero bit proves no
+  /// waiter, letting the per-store notify() miss in one branch. Set on
+  /// park, reset only when the table drains (bits cannot be unset per-key).
+  std::uint64_t park_filter_ = 0;
+  static std::uint64_t filter_bit(std::uint64_t key) {
+    return 1ull << ((key * 0x9E3779B97F4A7C15ull) >> 58);
+  }
+  std::vector<std::function<void()>> cb_pool_;
+  std::vector<std::uint32_t> cb_free_;
   std::vector<Task::Handle> sync_q_;
   std::vector<Task::Handle> tasks_;
   Rng rng_;
   Nanos global_time_ = 0;
-  std::uint64_t seq_ = 0;
   std::uint64_t steps_ = 0;
   int live_ = 0;
   bool running_ = false;

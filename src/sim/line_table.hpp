@@ -25,6 +25,11 @@ class LineTable {
 
   std::size_t size() const { return size_; }
 
+  /// Value slots ever allocated (live + free-listed). Erased slots are
+  /// reused, so this plateaus on steady-state workloads; memory-stability
+  /// tests gauge it.
+  std::size_t pool_slots() const { return pool_.size(); }
+
   /// Pointer to the value for `key`, or nullptr.
   Value* find(std::uint64_t key) {
     std::size_t i = probe_start(key);

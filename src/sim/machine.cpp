@@ -333,7 +333,16 @@ void Machine::run() {
     ctx.tid_ = tid;
   }
   engine_.run();
-  if (cfg_.metrics != nullptr) mem_.flush_metrics(engine_.now());
+  if (cfg_.metrics != nullptr) {
+    mem_.flush_metrics(engine_.now());
+    // Park-table health: keys must drain to zero on a clean run, and the
+    // pool high-water mark stays at the peak number of concurrently parked
+    // wait keys (slots are free-listed, not leaked per park/wake cycle).
+    cfg_.metrics->set("sim.engine.park.keys",
+                      static_cast<double>(engine_.parked_keys()));
+    cfg_.metrics->set("sim.engine.park.pool_slots",
+                      static_cast<double>(engine_.parked_pool_slots()));
+  }
 }
 
 void Machine::flush_buffer(Addr base, std::uint64_t bytes,

@@ -53,7 +53,7 @@ MemTarget MemMap::target(Line line, const Placement& place) const {
         topo_->imc_coord(t.channel / cfg_->dram_channels_per_controller);
   } else {
     if (snc && place.domain.has_value()) {
-      const auto edcs =
+      const auto& edcs =
           topo_->edcs_of_domain(cfg_->cluster, *place.domain %
                                                    Topology::domains(
                                                        cfg_->cluster));

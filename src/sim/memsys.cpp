@@ -151,14 +151,23 @@ Nanos MemSystem::stream_issue_cost(Level level, TileState prior,
   return 10.0;
 }
 
+const MemTarget& MemSystem::target_of(LineEntry& e, Line line,
+                                      const Placement& place) {
+  if (!e.target_valid) {
+    e.target = map_.target(line, place);
+    e.target_valid = true;
+  }
+  return e.target;
+}
+
 Nanos MemSystem::l2_supply(int src_tile, Nanos at) {
-  Reservation& port = l2_supply_.at(static_cast<std::size_t>(src_tile));
+  Reservation& port = l2_supply_[static_cast<std::size_t>(src_tile)];
   const Nanos service = cfg_->bw.l2_supply_line_ns;
   return port.acquire(at, service) + service;
 }
 
 Nanos MemSystem::core_issue(int core, Nanos now, Nanos occupancy) {
-  Reservation& port = core_ports_.at(static_cast<std::size_t>(core));
+  Reservation& port = core_ports_[static_cast<std::size_t>(core)];
   const Nanos start =
       port.acquire(now, occupancy * cfg_->bw.core_issue_fraction);
   return start + occupancy;
@@ -228,8 +237,13 @@ void MemSystem::fill_caches(int core, int tile, Line line, LineEntry& e) {
 void MemSystem::invalidate_others(LineEntry& e, Line line, int keep_tile,
                                   int tid, Nanos now) {
   bool stale_injected = false;
-  for (int t = 0; t < topo_->active_tiles(); ++t) {
-    if (t == keep_tile || !((e.l2_mask >> t) & 1ull)) continue;
+  // Walk only the set sharer bits (ascending, same order as a full tile
+  // scan); the mask never has bits at or above active_tiles().
+  std::uint64_t pending = e.l2_mask;
+  if (keep_tile >= 0) pending &= ~(1ull << keep_tile);
+  while (pending != 0) {
+    const int t = __builtin_ctzll(pending);
+    pending &= pending - 1;
     if (obs_on_) {
       note_coherence(tid, -1, t, line, Directory::state_in_tile(e, t),
                      TileState::kI, now, "invalidate");
@@ -249,7 +263,7 @@ void MemSystem::invalidate_others(LineEntry& e, Line line, int keep_tile,
         e.l1_mask &= ~(1ull << c);
       }
     }
-    counters_.at(static_cast<std::size_t>(tid)).invalidations++;
+    counters_[static_cast<std::size_t>(tid)].invalidations++;
   }
   // L1 copies in the keep tile held by *other* cores are invalidated by the
   // caller when needed (intra-tile write).
@@ -264,7 +278,7 @@ AccessResult MemSystem::memory_access(int tid, int core, Line line,
                                       const MemTarget& target,
                                       AccessType type, const AccessOpts& opts,
                                       Nanos now, int req_tile) {
-  auto& ctr = counters_.at(static_cast<std::size_t>(tid));
+  auto& ctr = counters_[static_cast<std::size_t>(tid)];
   const auto& lt = cfg_->lat;
   const int legs = mesh_legs(req_tile, target.home_tile, target.mem_stop);
   const Nanos path = lt.hop * legs;
@@ -423,7 +437,7 @@ void MemSystem::note_access(int tid, int core, Line line, AccessType type,
 
 void MemSystem::note_dir_lookup(int tid, Line line, int home_tile, Nanos now,
                                 Nanos svc_start, Nanos service) {
-  dir_requests_.at(static_cast<std::size_t>(home_tile))++;
+  dir_requests_[static_cast<std::size_t>(home_tile)]++;
   cha_queue_.record(svc_start - now);
   if (trace_ != nullptr) {
     obs::TraceEvent e;
@@ -471,10 +485,9 @@ void MemSystem::note_coherence(int tid, int core, int tile, Line line,
 AccessResult MemSystem::access_impl(int tid, int core, Line line,
                                     const Placement& place, AccessType type,
                                     const AccessOpts& opts, Nanos now) {
-  CAPMEM_CHECK(core >= 0 && core < cfg_->cores());
-  CAPMEM_CHECK(tid >= 0 &&
-               tid < static_cast<int>(counters_.size()));
-  auto& ctr = counters_.at(static_cast<std::size_t>(tid));
+  CAPMEM_DCHECK(core >= 0 && core < cfg_->cores());
+  CAPMEM_DCHECK(tid >= 0 && tid < static_cast<int>(counters_.size()));
+  auto& ctr = counters_[static_cast<std::size_t>(tid)];
   ctr.line_ops++;
   const int tile = topo_->tile_of_core(core);
   const auto& lt = cfg_->lat;
@@ -498,7 +511,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
       e.owner = -1;
       e.dirty = false;
     }
-    const MemTarget target = map_.target(line, place);
+    const MemTarget& target = target_of(e, line, place);
     AccessResult res;
     const double nt_traffic =
         static_cast<double>(kLineBytes) *
@@ -587,7 +600,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     // Directory request: serialize at the line's CHA (contention law).
     const Nanos svc_start = std::max(now, e.service_available);
     e.service_available = svc_start + jitter(lt.line_service, false);
-    const MemTarget target = map_.target(line, place);
+    const MemTarget& target = target_of(e, line, place);
     if (obs_on_) {
       note_dir_lookup(tid, line, target.home_tile, now, svc_start,
                       e.service_available - svc_start);
@@ -726,7 +739,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
   // RFO through the directory.
   const Nanos svc_start = std::max(now, e.service_available);
   e.service_available = svc_start + jitter(lt.line_service, false);
-  const MemTarget target = map_.target(line, place);
+  const MemTarget& target = target_of(e, line, place);
   if (obs_on_) {
     note_dir_lookup(tid, line, target.home_tile, now, svc_start,
                     e.service_available - svc_start);

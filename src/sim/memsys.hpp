@@ -150,6 +150,8 @@ class MemSystem {
  private:
   // Cost helpers. `legs` is the mesh path length in hops.
   Nanos jitter(Nanos v, bool allow_spike = true);
+  /// Per-line memoized map_.target() (see LineEntry::target).
+  const MemTarget& target_of(LineEntry& e, Line line, const Placement& place);
   int mesh_legs(int req_tile, int home_tile, Coord far_stop) const;
   int mesh_legs_tiles(int req_tile, int home_tile, int owner_tile) const;
 

@@ -1,0 +1,125 @@
+// Small vector with inline storage: the first N elements live inside the
+// object, killing the per-list heap allocation that dominated the engine's
+// waiter tables (most wait keys only ever hold a handful of parked tasks).
+//
+// Deliberately minimal: move-only, grow-only capacity, and *ordered* erase —
+// the engine's wakeup order is FIFO within a key, so erase must shift, never
+// swap-with-back.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace capmem::sim {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  SmallVec(SmallVec&& o) noexcept { steal(o); }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      steal(o);
+    }
+    return *this;
+  }
+  ~SmallVec() { destroy(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    CAPMEM_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    CAPMEM_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void push_back(T v) {
+    if (size_ == cap_) grow();
+    ::new (static_cast<void*>(data_ + size_)) T(std::move(v));
+    ++size_;
+  }
+
+  /// Removes element `i`, shifting the tail left (order-preserving).
+  void erase(std::size_t i) {
+    CAPMEM_DCHECK(i < size_);
+    for (std::size_t j = i + 1; j < size_; ++j)
+      data_[j - 1] = std::move(data_[j]);
+    data_[size_ - 1].~T();
+    --size_;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+ private:
+  bool is_inline() const {
+    return data_ == reinterpret_cast<const T*>(inline_);
+  }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    T* heap = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(heap + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!is_inline()) ::operator delete(data_);
+    data_ = heap;
+    cap_ = new_cap;
+  }
+
+  void destroy() {
+    clear();
+    if (!is_inline()) ::operator delete(data_);
+    data_ = reinterpret_cast<T*>(inline_);
+    cap_ = N;
+  }
+
+  /// Takes `o`'s contents; `o` is left empty (inline, zero size).
+  void steal(SmallVec& o) {
+    if (o.is_inline()) {
+      data_ = reinterpret_cast<T*>(inline_);
+      cap_ = N;
+      for (std::size_t i = 0; i < o.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(o.data_[i]));
+        o.data_[i].~T();
+      }
+      size_ = o.size_;
+      o.size_ = 0;
+    } else {
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = reinterpret_cast<T*>(o.inline_);
+      o.cap_ = N;
+      o.size_ = 0;
+    }
+  }
+
+  T* data_ = reinterpret_cast<T*>(inline_);
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = N;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace capmem::sim

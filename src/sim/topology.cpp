@@ -103,20 +103,20 @@ Topology::Topology(const MachineConfig& cfg)
                                             ndom))]
           .push_back(t);
     }
+    // Same precomputation for the EDC stops (per-access lookups must not
+    // rebuild these lists).
+    domain_edcs_[logdom].assign(static_cast<std::size_t>(ndom), {});
+    for (int dom = 0; dom < ndom; ++dom) {
+      auto& out = domain_edcs_[logdom][static_cast<std::size_t>(dom)];
+      for (int e = 0; e < num_edcs_; ++e) {
+        if (ndom == 1 ||
+            grid_domain(edc_pos_[static_cast<std::size_t>(e)], ndom) == dom) {
+          out.push_back(e);
+        }
+      }
+      if (out.empty()) out.push_back(dom % num_edcs_);  // degenerate meshes
+    }
   }
-}
-
-Coord Topology::tile_coord(int t) const {
-  CAPMEM_CHECK(t >= 0 && t < active_tiles());
-  return tile_pos_[static_cast<std::size_t>(t)];
-}
-
-int Topology::hops(Coord a, Coord b) const {
-  return std::abs(a.row - b.row) + std::abs(a.col - b.col);
-}
-
-int Topology::tile_hops(int ta, int tb) const {
-  return hops(tile_coord(ta), tile_coord(tb));
 }
 
 int Topology::grid_domain(Coord c, int ndom) const {
@@ -166,19 +166,12 @@ int Topology::closest_imc(int quadrant) const {
   return (quadrant >= 2 && num_imcs_ > 1) ? 1 : 0;
 }
 
-std::vector<int> Topology::edcs_of_domain(ClusterMode mode, int domain) const {
+const std::vector<int>& Topology::edcs_of_domain(ClusterMode mode,
+                                                 int domain) const {
   const int ndom = domains(mode);
-  std::vector<int> out;
-  for (int e = 0; e < num_edcs_; ++e) {
-    if (ndom == 1) {
-      out.push_back(e);
-      continue;
-    }
-    const int edom = grid_domain(edc_pos_[static_cast<std::size_t>(e)], ndom);
-    if (edom == domain) out.push_back(e);
-  }
-  if (out.empty()) out.push_back(domain % num_edcs_);  // degenerate meshes
-  return out;
+  CAPMEM_CHECK(domain >= 0 && domain < ndom);
+  const int logdom = ndom == 4 ? 2 : ndom == 2 ? 1 : 0;
+  return domain_edcs_[logdom][static_cast<std::size_t>(domain)];
 }
 
 }  // namespace capmem::sim

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hpp"
 #include "sim/config.hpp"
 
 namespace capmem::sim {
@@ -31,7 +32,10 @@ class Topology {
   int cores() const { return active_tiles() * cores_per_tile_; }
 
   /// Physical grid position of logical (active) tile `t`.
-  Coord tile_coord(int t) const;
+  Coord tile_coord(int t) const {
+    CAPMEM_DCHECK(t >= 0 && t < active_tiles());
+    return tile_pos_[static_cast<std::size_t>(t)];
+  }
 
   /// Logical tile of core `c` and cores of tile `t`.
   int tile_of_core(int core) const { return core / cores_per_tile_; }
@@ -39,8 +43,14 @@ class Topology {
 
   /// Mesh hop count between two stops. Packets route Y first, then X; the
   /// half-rings re-inject at die edges, so distance is Manhattan.
-  int hops(Coord a, Coord b) const;
-  int tile_hops(int ta, int tb) const;
+  int hops(Coord a, Coord b) const {
+    const int dr = a.row - b.row;
+    const int dc = a.col - b.col;
+    return (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+  }
+  int tile_hops(int ta, int tb) const {
+    return hops(tile_coord(ta), tile_coord(tb));
+  }
 
   /// Cluster domain of a tile under `mode`: quadrant id (0..3) for
   /// SNC4/Quadrant, hemisphere id (0..1) for SNC2/Hemisphere, 0 for A2A.
@@ -60,7 +70,8 @@ class Topology {
   /// "the DDR range assigned to a quadrant is interleaved among the three
   /// channels of the closest DDR memory controller", paper §II.D).
   int closest_imc(int quadrant) const;
-  std::vector<int> edcs_of_domain(ClusterMode mode, int domain) const;
+  const std::vector<int>& edcs_of_domain(ClusterMode mode,
+                                         int domain) const;
 
   /// Quadrant (always 4-way) of a tile, independent of cluster mode — used
   /// by the memory map for quadrant/SNC4 affinity.
@@ -81,6 +92,7 @@ class Topology {
   std::vector<Coord> edc_pos_;
   // domain -> tiles, for ndom in {1,2,4} indexed by log2(ndom)
   std::vector<std::vector<int>> domain_tiles_[3];
+  std::vector<std::vector<int>> domain_edcs_[3];
 };
 
 }  // namespace capmem::sim

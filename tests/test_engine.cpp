@@ -2,8 +2,13 @@
 // determinism, deadlock detection.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace capmem::sim {
@@ -236,6 +241,283 @@ TEST(Engine, CallbacksInterleaveWithTasks) {
   e.spawn(prog());
   e.run();
   EXPECT_EQ(order, (std::vector<int>{100, 1, 200, 2}));
+}
+
+// --- determinism transcript regression -------------------------------------
+//
+// A fixed-seed mixed park/unpark/advance/sync/callback schedule whose full
+// scheduling trace is compared against the checked-in transcript below. Any
+// queue or waiter-table rewrite that reorders resumes, wakeups (including
+// the FIFO tie-break on equal timestamps) or barrier releases fails loudly
+// here. Refresh recipe after an *intentional* semantic change:
+//
+//   ./tests/test_engine --gtest_filter=Engine.DeterminismTranscript ^
+//       2>/dev/null | sed -n '/BEGIN TRANSCRIPT/,/END TRANSCRIPT/p'
+//
+// (join the two lines; the continuation marker avoids a multi-line-comment
+// warning)
+//
+// (the test prints the actual transcript between those markers on mismatch;
+// paste it over kExpectedTranscript).
+
+namespace transcript {
+
+class TranscriptSink final : public obs::TraceSink {
+ public:
+  void on_event(const obs::TraceEvent& e) override {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s t=%.17g tid=%d line=%llu dur=%.17g a=%d\n",
+                  obs::to_string(e.kind), e.t, e.tid,
+                  static_cast<unsigned long long>(e.line), e.dur, e.a);
+    out += buf;
+  }
+  std::string out;
+};
+
+struct Shared {
+  Engine* e;
+  // Per-ring-slot flag values plus the observer flag (index 4).
+  std::array<std::uint64_t, 5> vals{};
+};
+
+/// Sets vals[key] = v and notifies waiters at the writer's current clock
+/// (the store-then-notify shape every timed write in machine.cpp has).
+struct StoreNotify {
+  Shared* s;
+  std::size_t key;
+  std::uint64_t v;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(Task::Handle h) const {
+    s->vals[key] = v;
+    s->e->notify(key, h.promise().clock);
+    s->e->requeue(h);
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Parks until vals[key] >= target (re-checks on every notify; wakes with
+/// the store's visibility time, like WaitU64 does).
+struct ParkUntil {
+  Shared* s;
+  std::size_t key;
+  std::uint64_t target;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(Task::Handle h) const {
+    if (s->vals[key] >= target) {
+      s->e->requeue(h);
+      return;
+    }
+    Shared* sp = s;
+    const std::size_t k = key;
+    const std::uint64_t tgt = target;
+    s->e->park(k, h, [sp, k, tgt, h](Nanos visible) {
+      if (sp->vals[k] < tgt) return false;
+      h.promise().clock = std::max(h.promise().clock, visible);
+      return true;
+    });
+  }
+  void await_resume() const noexcept {}
+};
+
+// The checked-in transcript (see refresh recipe above).
+const char kExpectedTranscript[] = R"(task-resume t=0 tid=0 line=0 dur=0 a=-1
+task-resume t=0 tid=1 line=0 dur=0 a=-1
+task-resume t=0 tid=2 line=0 dur=0 a=-1
+task-resume t=0 tid=3 line=0 dur=0 a=-1
+task-resume t=0 tid=4 line=0 dur=0 a=-1
+task-resume t=0 tid=5 line=0 dur=0 a=-1
+task-resume t=0.25 tid=4 line=0 dur=0 a=-1
+task-park t=0.25 tid=4 line=4 dur=0 a=-1
+task-resume t=0.25 tid=5 line=0 dur=0 a=-1
+task-park t=0.25 tid=5 line=4 dur=0 a=-1
+task-resume t=1 tid=1 line=0 dur=0 a=-1
+task-resume t=1 tid=1 line=0 dur=0 a=-1
+task-park t=1 tid=1 line=1 dur=0 a=-1
+task-resume t=3 tid=0 line=0 dur=0 a=-1
+task-unpark t=1 tid=1 line=1 dur=2 a=-1
+task-resume t=3 tid=3 line=0 dur=0 a=-1
+task-resume t=3 tid=1 line=0 dur=0 a=-1
+task-resume t=3 tid=0 line=0 dur=0 a=-1
+task-resume t=3 tid=3 line=0 dur=0 a=-1
+task-park t=3 tid=3 line=3 dur=0 a=-1
+task-resume t=3 tid=0 line=0 dur=0 a=-1
+task-resume t=3 tid=0 line=0 dur=0 a=-1
+task-resume t=3 tid=0 line=0 dur=0 a=-1
+task-resume t=3 tid=0 line=0 dur=0 a=-1
+task-unpark t=0.25 tid=4 line=4 dur=2.75 a=-1
+task-unpark t=0.25 tid=5 line=4 dur=2.75 a=-1
+task-resume t=3 tid=4 line=0 dur=0 a=-1
+task-park t=3 tid=4 line=4 dur=0 a=-1
+task-resume t=3 tid=5 line=0 dur=0 a=-1
+task-park t=3 tid=5 line=4 dur=0 a=-1
+task-resume t=3 tid=0 line=0 dur=0 a=-1
+task-park t=3 tid=0 line=0 dur=0 a=-1
+task-resume t=3.5 tid=2 line=0 dur=0 a=-1
+task-unpark t=3 tid=3 line=3 dur=0.5 a=-1
+task-resume t=3.5 tid=1 line=0 dur=0 a=-1
+task-resume t=3.5 tid=3 line=0 dur=0 a=-1
+task-resume t=3.5 tid=2 line=0 dur=0 a=-1
+task-resume t=3.5 tid=1 line=0 dur=0 a=-1
+task-resume t=3.5 tid=2 line=0 dur=0 a=-1
+task-resume t=3.5 tid=1 line=0 dur=0 a=-1
+task-resume t=5.5 tid=1 line=0 dur=0 a=-1
+task-resume t=5.5 tid=1 line=0 dur=0 a=-1
+task-park t=5.5 tid=1 line=1 dur=0 a=-1
+task-resume t=6 tid=2 line=0 dur=0 a=-1
+task-resume t=6 tid=2 line=0 dur=0 a=-1
+task-resume t=6 tid=2 line=0 dur=0 a=-1
+task-resume t=6.5 tid=3 line=0 dur=0 a=-1
+task-unpark t=3 tid=0 line=0 dur=3.5 a=-1
+task-resume t=6.5 tid=2 line=0 dur=0 a=-1
+task-resume t=6.5 tid=0 line=0 dur=0 a=-1
+task-resume t=6.5 tid=3 line=0 dur=0 a=-1
+task-resume t=6.5 tid=2 line=0 dur=0 a=-1
+task-resume t=6.5 tid=3 line=0 dur=0 a=-1
+task-resume t=6.5 tid=2 line=0 dur=0 a=-1
+task-resume t=7 tid=3 line=0 dur=0 a=-1
+task-resume t=7 tid=2 line=0 dur=0 a=-1
+task-resume t=7 tid=3 line=0 dur=0 a=-1
+task-resume t=7 tid=2 line=0 dur=0 a=-1
+task-park t=7 tid=2 line=2 dur=0 a=-1
+task-resume t=7 tid=3 line=0 dur=0 a=-1
+task-resume t=8 tid=3 line=0 dur=0 a=-1
+task-resume t=8 tid=3 line=0 dur=0 a=-1
+task-resume t=8 tid=3 line=0 dur=0 a=-1
+task-resume t=9 tid=0 line=0 dur=0 a=-1
+task-unpark t=5.5 tid=1 line=1 dur=3.5 a=-1
+task-resume t=9 tid=1 line=0 dur=0 a=-1
+task-resume t=9 tid=0 line=0 dur=0 a=-1
+task-resume t=9 tid=0 line=0 dur=0 a=-1
+task-resume t=9 tid=0 line=0 dur=0 a=-1
+task-resume t=10.5 tid=0 line=0 dur=0 a=-1
+task-resume t=10.5 tid=0 line=0 dur=0 a=-1
+task-unpark t=3 tid=4 line=4 dur=7.5 a=-1
+task-unpark t=3 tid=5 line=4 dur=7.5 a=-1
+task-resume t=10.5 tid=4 line=0 dur=0 a=-1
+task-resume t=10.5 tid=5 line=0 dur=0 a=-1
+task-resume t=10.5 tid=0 line=0 dur=0 a=-1
+task-resume t=10.5 tid=0 line=0 dur=0 a=-1
+task-resume t=12 tid=1 line=0 dur=0 a=-1
+task-unpark t=7 tid=2 line=2 dur=5 a=-1
+task-resume t=12 tid=2 line=0 dur=0 a=-1
+task-resume t=12 tid=1 line=0 dur=0 a=-1
+task-resume t=12 tid=1 line=0 dur=0 a=-1
+sync-release t=12 tid=-1 line=0 dur=0 a=6
+task-resume t=12 tid=3 line=0 dur=0 a=-1
+task-finish t=12 tid=3 line=0 dur=0 a=-1
+task-resume t=12 tid=4 line=0 dur=0 a=-1
+task-finish t=12 tid=4 line=0 dur=0 a=-1
+task-resume t=12 tid=5 line=0 dur=0 a=-1
+task-finish t=12 tid=5 line=0 dur=0 a=-1
+task-resume t=12 tid=0 line=0 dur=0 a=-1
+task-finish t=12 tid=0 line=0 dur=0 a=-1
+task-resume t=12 tid=2 line=0 dur=0 a=-1
+task-finish t=12 tid=2 line=0 dur=0 a=-1
+task-resume t=12 tid=1 line=0 dur=0 a=-1
+task-finish t=12 tid=1 line=0 dur=0 a=-1
+steps=72 now=12
+)";
+
+}  // namespace transcript
+
+TEST(Engine, DeterminismTranscript) {
+  using namespace transcript;
+  constexpr int kRing = 4;
+  constexpr int kRounds = 4;
+  Engine e(2026);
+  TranscriptSink sink;
+  e.set_trace(&sink);
+  Shared s{&e, {}};
+
+  // Ring tasks: advance a per-task deterministic jitter (quantized so equal
+  // timestamps and the FIFO tie-break actually occur), signal the right
+  // neighbour's flag, then wait for our own — a neighbour barrier. Task 0
+  // also bumps the observer flag each round. Everyone joins one final
+  // engine barrier.
+  auto ring = [&s](int i) -> Task {
+    Rng rng(1000 + static_cast<std::uint64_t>(i));
+    for (std::uint64_t r = 1; r <= kRounds; ++r) {
+      co_await Advance{0.5 * static_cast<double>(rng.next_below(8))};
+      co_await StoreNotify{&s, static_cast<std::size_t>((i + 1) % kRing), r};
+      if (i == 0) co_await StoreNotify{&s, 4, r};
+      co_await ParkUntil{&s, static_cast<std::size_t>(i), r};
+    }
+    co_await SyncPoint{};
+  };
+  // Two observers parked on the same key with the same target: one notify
+  // satisfies both, pinning the FIFO wake order on a shared waiter list.
+  auto observer = [&s](Nanos skew) -> Task {
+    co_await Advance{skew};
+    for (std::uint64_t r = 1; r <= 2; ++r) {
+      co_await ParkUntil{&s, 4, 2 * r};
+    }
+    co_await SyncPoint{};
+  };
+  for (int i = 0; i < kRing; ++i) e.spawn(ring(i));
+  e.spawn(observer(0.25));
+  e.spawn(observer(0.25));
+  // Bare callbacks interleaved with task steps; the no-op notifies must not
+  // wake anyone (predicates re-check the flag value).
+  e.schedule(1.25, [&s] { s.e->notify(0, 1.25); });
+  e.schedule(3.25, [&s] { s.e->notify(4, 3.25); });
+  e.run();
+
+  char foot[64];
+  std::snprintf(foot, sizeof foot, "steps=%llu now=%.17g\n",
+                static_cast<unsigned long long>(e.steps()), e.now());
+  sink.out += foot;
+  if (sink.out != kExpectedTranscript) {
+    std::printf("BEGIN TRANSCRIPT\n%sEND TRANSCRIPT\n", sink.out.c_str());
+  }
+  EXPECT_EQ(sink.out, kExpectedTranscript)
+      << "scheduling order changed; see refresh recipe above";
+}
+
+TEST(Engine, ParkTableReclaimsSlotsAcrossCycles) {
+  // Regression for the park table growing monotonically: waiters used to
+  // stay in the table (as empty lists) after wake-all, so a run touching
+  // many distinct wait keys leaked one slot per key. Park/wake 200 distinct
+  // keys with at most one parked at a time; the pool high-water mark must
+  // reflect the concurrency (1), not the key count.
+  Engine e(1);
+  constexpr int kCycles = 200;
+  int wakes = 0;
+  auto key_of = [](int c) { return 1000ull + static_cast<std::uint64_t>(c); };
+  auto waiter = [&]() -> Task {
+    struct ParkOn {
+      Engine* e;
+      std::uint64_t key;
+      int* wakes;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Task::Handle h) const {
+        int* w = wakes;
+        e->park(key, h, [h, w](Nanos visible) {
+          h.promise().clock = std::max(h.promise().clock, visible);
+          ++*w;
+          return true;
+        });
+      }
+      void await_resume() const noexcept {}
+    };
+    for (int c = 0; c < kCycles; ++c) {
+      co_await ParkOn{&e, key_of(c), &wakes};
+    }
+  };
+  auto writer = [&]() -> Task {
+    Nanos t = 0;
+    for (int c = 0; c < kCycles; ++c) {
+      co_await Advance{1.0};
+      t += 1.0;
+      e.notify(key_of(c), t);
+    }
+  };
+  e.spawn(waiter());
+  e.spawn(writer());
+  e.run();
+  EXPECT_EQ(wakes, kCycles);
+  EXPECT_EQ(e.parked_keys(), 0u);
+  EXPECT_LE(e.parked_pool_slots(), 2u);
 }
 
 TEST(Engine, DeterministicStepCount) {

@@ -415,6 +415,37 @@ TEST(MetricsIntegration, FlushedRegistryCoversComponents) {
   EXPECT_TRUE(valid_json(os.str()));
 }
 
+TEST(MetricsIntegration, ParkTableDrainsAndPoolStaysBounded) {
+  // A flag ping-pong that parks on many distinct lines over the run. The
+  // end-of-run gauges must show the park table fully drained and its pool
+  // sized to the peak number of concurrently parked keys — not the total
+  // number of park/wake cycles (the table reclaims slots on wake-all).
+  using namespace capmem::sim;
+  Registry reg;
+  sim::MachineConfig cfg = quiet_tiny();
+  cfg.metrics = &reg;
+  Machine m(cfg);
+  constexpr int kRounds = 32;
+  // One flag line per round: distinct wait keys throughout the run.
+  const Addr flags = m.alloc("flags", kRounds * kLineBytes,
+                             {MemKind::kDDR, std::nullopt}, true);
+  m.add_thread({0, 0}, [&](Ctx& ctx) -> Task {
+    for (int r = 0; r < kRounds; ++r) {
+      co_await ctx.write_u64(flags + static_cast<Addr>(r) * kLineBytes, 1);
+    }
+  });
+  m.add_thread({1, 0}, [&](Ctx& ctx) -> Task {
+    for (int r = 0; r < kRounds; ++r) {
+      co_await ctx.wait_eq(flags + static_cast<Addr>(r) * kLineBytes, 1);
+    }
+  });
+  m.run();
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.engine.park.keys"), 0.0);
+  // At most one key is parked at any instant here; allow a little slack for
+  // the waiter overlapping adjacent rounds.
+  EXPECT_LE(reg.gauge("sim.engine.park.pool_slots"), 4.0);
+}
+
 TEST(MetricsIntegration, ExecRunJobsProfilesIntoProcessRegistry) {
   Registry reg;
   set_process_registry(&reg);
