@@ -8,13 +8,28 @@
 // count. With --budget-seconds N the pass repeats with fresh seeds until
 // the wall budget runs out (the scheduled long-fuzz CI mode).
 //
+// The sweep is fault-tolerant: cells run under exec::run_jobs_recover, so
+// one schedule that trips the engine watchdog (--max-steps, or a real
+// deadlock/livelock) is *quarantined* — recorded with a minimized repro —
+// while every other cell completes and reports. --checkpoint FILE records
+// each completed (pass, config, seed) cell as it finishes; re-running with
+// the same flags resumes the sweep without re-running completed cells.
+// --inject-abort config:seed:steps plants a deterministic engine abort in
+// one cell (CI smoke for the quarantine path); --fault-severity runs every
+// schedule on seed-derived degraded silicon (fault::FaultPlan).
+//
 // On divergence the harness minimizes the first failing schedule (prefix
 // bisection + thread halving), writes a self-contained repro to
 // --repro-out, optionally re-runs it into a Chrome trace
-// (--trace-on-divergence), and exits nonzero.
+// (--trace-on-divergence), and exits 1. A sweep whose only failures are
+// quarantined aborts exits 2 with a partial-results summary.
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -46,6 +61,31 @@ std::vector<ConfigCell> all_configs() {
   return cells;
 }
 
+// Completed-cell ledger: one "P|Q <pass> <config> <trial>" line per
+// finished cell (P = passed, Q = quarantined). Divergent cells are never
+// checkpointed — a resumed sweep re-runs them and fails again.
+using CellKey = std::tuple<int, std::size_t, std::size_t>;
+
+std::map<CellKey, char> load_checkpoint(const std::string& path) {
+  std::map<CellKey, char> done;
+  if (path.empty()) return done;
+  std::ifstream in(path);
+  char status = 0;
+  int pass = 0;
+  std::size_t cell = 0, trial = 0;
+  while (in >> status >> pass >> cell >> trial) {
+    if (status == 'P' || status == 'Q') done[{pass, cell, trial}] = status;
+  }
+  return done;
+}
+
+// One quarantined cell of this run.
+struct Quarantine {
+  WorkloadSpec spec;
+  bool reproducible = false;  ///< spec re-runs to the same failure
+  std::string report;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,24 +110,70 @@ int main(int argc, char** argv) {
   const std::string trace_out = cli.get_string(
       "trace-on-divergence", "",
       "Chrome trace of the minimized divergence");
+  const std::uint64_t max_steps = static_cast<std::uint64_t>(cli.get_int(
+      "max-steps", 0, "engine step budget per schedule (0 = unlimited)"));
+  const int fault_severity = static_cast<int>(cli.get_int(
+      "fault-severity", 0, "degraded-silicon severity 0-3 for every cell"));
+  const std::string checkpoint_path = cli.get_string(
+      "checkpoint", "", "completed-cell ledger for resume ('' = off)");
+  const std::string inject_abort = cli.get_string(
+      "inject-abort", "",
+      "config:seed:steps — step-budget abort in one pass-0 cell");
+  const std::string quarantine_out = cli.get_string(
+      "quarantine-out", "fuzz_quarantine.txt",
+      "partial-results summary file (written when cells are quarantined)");
   const int jobs = cli.get_jobs();
   cli.finish();
   obs.set_config("fuzz-diff all-modes");
   obs.set_seed(base_seed);
   obs.set_jobs(jobs);
 
+  long inj_cell = -1, inj_trial = -1, inj_steps = 0;
+  if (!inject_abort.empty()) {
+    if (std::sscanf(inject_abort.c_str(), "%ld:%ld:%ld", &inj_cell,
+                    &inj_trial, &inj_steps) != 3 ||
+        inj_cell < 0 || inj_trial < 0 || inj_steps <= 0) {
+      std::cerr << "bad --inject-abort '" << inject_abort
+                << "' (want config:seed:steps)\n";
+      return 64;
+    }
+  }
+
   const std::vector<ConfigCell> cells = all_configs();
-  const auto make_spec = [&](const ConfigCell& cell, std::uint64_t seed) {
+  const auto make_spec = [&](int pass, std::size_t cell, std::size_t trial) {
     WorkloadSpec spec;
     spec.threads = threads;
     spec.ops_per_thread = ops;
     spec.data_lines = data_lines;
     spec.counter_lines = counter_lines;
-    spec.seed = seed;
-    spec.cluster = cell.cluster;
-    spec.memory = cell.memory;
+    spec.seed = exec::derive_seed(
+        base_seed + static_cast<std::uint64_t>(pass), cell, trial);
+    spec.cluster = cells[cell].cluster;
+    spec.memory = cells[cell].memory;
+    spec.max_steps = max_steps;
+    spec.fault_severity = fault_severity;
+    if (pass == 0 && static_cast<long>(cell) == inj_cell &&
+        static_cast<long>(trial) == inj_trial) {
+      spec.max_steps = static_cast<std::uint64_t>(inj_steps);
+    }
     return spec;
   };
+
+  std::map<CellKey, char> done = load_checkpoint(checkpoint_path);
+  std::ofstream ledger;
+  std::mutex ledger_mu;
+  if (!checkpoint_path.empty()) {
+    ledger.open(checkpoint_path, std::ios::app);
+    if (!ledger) {
+      std::cerr << "cannot open checkpoint '" << checkpoint_path << "'\n";
+      return 64;
+    }
+  }
+  const std::size_t resumed = done.size();
+  if (resumed > 0) {
+    std::cout << "checkpoint: skipping " << resumed
+              << " completed cell(s) from " << checkpoint_path << '\n';
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed_s = [&] {
@@ -102,21 +188,67 @@ int main(int argc, char** argv) {
   std::uint64_t total_divergences = 0;
   bool have_failure = false;
   WorkloadSpec first_failure;
+  std::vector<Quarantine> quarantined;
 
   int pass = 0;
   do {
     obs.phase("pass" + std::to_string(pass));
     const int njobs = static_cast<int>(cells.size()) * seeds;
-    const std::vector<DiffOutcome> outcomes =
-        exec::parallel_map<DiffOutcome>(njobs, jobs, [&](int i) {
+
+    // Cells still to run this pass (everything, without a checkpoint).
+    std::vector<int> pending;
+    std::vector<DiffOutcome> outcomes(static_cast<std::size_t>(njobs));
+    pending.reserve(static_cast<std::size_t>(njobs));
+    for (int i = 0; i < njobs; ++i) {
+      const std::size_t cell = static_cast<std::size_t>(i) /
+                               static_cast<std::size_t>(seeds);
+      const std::size_t trial = static_cast<std::size_t>(i) %
+                                static_cast<std::size_t>(seeds);
+      const auto it = done.find({pass, cell, trial});
+      if (it == done.end()) {
+        pending.push_back(i);
+        continue;
+      }
+      DiffOutcome& o = outcomes[static_cast<std::size_t>(i)];
+      o.spec = make_spec(pass, cell, trial);
+      if (it->second == 'Q') {
+        o.ok = false;
+        o.aborted = true;
+        o.report = "  quarantined in a previous run (checkpoint)\n";
+      }
+    }
+
+    auto [slots, report] = exec::try_parallel_map<DiffOutcome>(
+        static_cast<int>(pending.size()), jobs, [&](int p) {
+          const int i = pending[static_cast<std::size_t>(p)];
           const std::size_t cell = static_cast<std::size_t>(i) /
                                    static_cast<std::size_t>(seeds);
           const std::size_t trial = static_cast<std::size_t>(i) %
                                     static_cast<std::size_t>(seeds);
-          const std::uint64_t seed = exec::derive_seed(
-              base_seed + static_cast<std::uint64_t>(pass), cell, trial);
-          return run_diff(make_spec(cells[cell], seed));
+          DiffOutcome o = run_diff(make_spec(pass, cell, trial));
+          if (ledger.is_open() && (o.ok || o.aborted)) {
+            std::lock_guard<std::mutex> lk(ledger_mu);
+            ledger << (o.ok ? 'P' : 'Q') << ' ' << pass << ' ' << cell
+                   << ' ' << trial << '\n';
+            ledger.flush();
+          }
+          return o;
         });
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      outcomes[static_cast<std::size_t>(pending[p])] = std::move(slots[p]);
+    }
+    // Host-side failures (exceptions that escaped run_diff itself): the
+    // recovery layer kept the batch alive; fold them in as quarantined.
+    for (const exec::JobFailure& f : report.failures) {
+      const int i = pending[f.job];
+      DiffOutcome& o = outcomes[static_cast<std::size_t>(i)];
+      o.ok = false;
+      o.aborted = true;
+      o.report = "  job " + std::string(to_string(f.status)) + " after " +
+                 std::to_string(f.attempts) + " attempt(s): " + f.error +
+                 '\n';
+    }
+
     for (int i = 0; i < njobs; ++i) {
       const std::size_t cell = static_cast<std::size_t>(i) /
                                static_cast<std::size_t>(seeds);
@@ -124,6 +256,13 @@ int main(int argc, char** argv) {
       per_cell_schedules[cell]++;
       total_schedules++;
       if (o.ok) continue;
+      if (o.aborted) {
+        std::cout << "QUARANTINE " << o.spec.label() << " ["
+                  << cells[cell].name << "]:\n"
+                  << o.report << '\n';
+        quarantined.push_back(Quarantine{o.spec, false, o.report});
+        continue;
+      }
       per_cell_divergences[cell]++;
       total_divergences++;
       if (!have_failure) {
@@ -134,7 +273,8 @@ int main(int argc, char** argv) {
       }
     }
     ++pass;
-  } while (!have_failure && budget > 0 && elapsed_s() < budget);
+  } while (!have_failure && quarantined.empty() && budget > 0 &&
+           elapsed_s() < budget);
 
   Table t("fuzz-diff — schedules per configuration");
   t.set_header({"config", "schedules", "divergences"});
@@ -149,6 +289,8 @@ int main(int argc, char** argv) {
                        static_cast<double>(total_schedules));
     obs.metrics()->add("check.divergences",
                        static_cast<double>(total_divergences));
+    obs.metrics()->add("check.quarantined",
+                       static_cast<double>(quarantined.size()));
   }
 
   if (have_failure) {
@@ -171,6 +313,46 @@ int main(int argc, char** argv) {
               << total_divergences << " divergences\n";
     return 1;
   }
+
+  if (!quarantined.empty()) {
+    // Partial results: everything else completed. Minimize the first
+    // quarantined cell that still reproduces (checkpoint-synthesized
+    // entries and one-shot host failures may not).
+    bool wrote_repro = false;
+    for (Quarantine& q : quarantined) {
+      const DiffOutcome again = run_diff(q.spec);
+      if (again.ok) continue;
+      q.reproducible = true;
+      std::cout << "minimizing first quarantined abort...\n";
+      const WorkloadSpec min_spec = minimize(q.spec);
+      const DiffOutcome min_out = run_diff(min_spec);
+      std::ofstream repro(repro_out);
+      repro << repro_text(min_out.ok ? again : min_out);
+      std::cout << "repro: " << repro_out << " (" << min_spec.label()
+                << ")\n";
+      wrote_repro = true;
+      break;
+    }
+    std::ofstream qf(quarantine_out);
+    qf << "capmem fuzz-diff partial results\n"
+       << "completed: " << (total_schedules - quarantined.size())
+       << " schedule(s), quarantined: " << quarantined.size() << '\n';
+    for (const Quarantine& q : quarantined) {
+      qf << "quarantined " << q.spec.label()
+         << (q.reproducible ? " [reproduced]" : "") << '\n'
+         << q.report;
+    }
+    std::cout << "quarantine summary: " << quarantine_out << '\n';
+    if (!wrote_repro) {
+      std::cout << "(no quarantined cell reproduced on re-run; "
+                   "no repro written)\n";
+    }
+    std::cout << "PARTIAL fuzz-diff: " << total_schedules
+              << " schedules, " << quarantined.size()
+              << " quarantined, 0 divergences\n";
+    return 2;
+  }
+
   std::cout << "PASS fuzz-diff: " << total_schedules
             << " schedules across " << cells.size()
             << " configurations, 0 divergences\n";

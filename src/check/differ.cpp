@@ -24,6 +24,7 @@ DiffOutcome run_diff(const WorkloadSpec& spec, obs::TraceSink* trace) {
   out.elapsed = r.elapsed;
 
   std::ostringstream os;
+  out.aborted = r.aborted;
   if (!r.ran) {
     os << "  simulator threw: " << r.error << '\n';
   } else {
@@ -113,8 +114,12 @@ std::string repro_text(const DiffOutcome& outcome) {
      << '\n'
      << "  cluster=" << sim::to_string(s.cluster) << " memory="
      << sim::to_string(s.memory) << " sched=" << sim::to_string(s.sched)
-     << '\n'
-     << "violations: " << outcome.violations << '\n'
+     << '\n';
+  if (s.max_steps != 0 || s.fault_severity != 0) {
+    os << "  max_steps=" << s.max_steps
+       << " fault_severity=" << s.fault_severity << '\n';
+  }
+  os << "violations: " << outcome.violations << '\n'
      << "report:\n"
      << outcome.report << "schedule (per thread, executed prefix):\n";
   const auto ops = generate_ops(s);

@@ -22,6 +22,7 @@ namespace capmem::check {
 struct DiffOutcome {
   WorkloadSpec spec;            ///< exactly what ran (incl. prefix)
   bool ok = true;
+  bool aborted = false;         ///< !ok via sim::SimAbort, not divergence
   std::uint64_t violations = 0; ///< checker-recorded violation count
   std::string report;           ///< empty when ok
   double elapsed = 0;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "fault/plan.hpp"
 #include "sim/machine.hpp"
 
 namespace capmem::check {
@@ -27,6 +28,8 @@ std::string WorkloadSpec::label() const {
      << threads << " ops" << ops_per_thread;
   if (prefix >= 0) os << "[:" << prefix << ']';
   os << " seed" << seed;
+  if (max_steps != 0) os << " steps<=" << max_steps;
+  if (fault_severity != 0) os << " fault" << fault_severity;
   return os.str();
 }
 
@@ -89,6 +92,14 @@ WorkloadResult run_workload(const WorkloadSpec& spec, Checker* checker,
   CAPMEM_CHECK(spec.threads >= 1 && spec.data_lines >= 1 &&
                spec.counter_lines >= 1);
   MachineConfig cfg = workload_config(spec);
+  cfg.watchdog.max_steps = spec.max_steps;
+  // The plan is a local: cfg.fault borrows it, and every Machine built from
+  // cfg dies before this frame does.
+  fault::FaultPlan plan;
+  if (spec.fault_severity != 0) {
+    plan = fault::from_seed(spec.seed, spec.fault_severity);
+    fault::apply(cfg, plan);
+  }
   CAPMEM_CHECK(spec.threads <= cfg.hw_threads());
   cfg.check = checker;
   cfg.trace = trace;
@@ -187,6 +198,10 @@ WorkloadResult run_workload(const WorkloadSpec& spec, Checker* checker,
     m.memsys().directory().check_all();
     if (checker != nullptr) checker->final_sweep(m.memsys());
     out.ran = true;
+  } catch (const SimAbort& e) {
+    out.aborted = true;
+    out.error = e.what();
+    return out;
   } catch (const CheckError& e) {
     out.error = e.what();
     return out;

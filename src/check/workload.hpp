@@ -41,8 +41,15 @@ struct WorkloadSpec {
   sim::ClusterMode cluster = sim::ClusterMode::kQuadrant;
   sim::MemoryMode memory = sim::MemoryMode::kFlat;
   sim::Schedule sched = sim::Schedule::kScatter;
+  /// Engine step budget (0 = unlimited): trips the watchdog with a
+  /// sim::SimAbort instead of letting a pathological schedule run away.
+  std::uint64_t max_steps = 0;
+  /// Degraded-silicon severity 0-3 (fault::from_seed(seed, severity));
+  /// 0 = healthy, byte-identical to the pre-fault simulator.
+  int fault_severity = 0;
 
-  /// "quad/flat t10 ops160 seed42", with "[:N]" appended under a prefix.
+  /// "quad/flat t10 ops160 seed42", with "[:N]" appended under a prefix
+  /// and " steps<=N" / " faultN" when those knobs are set.
   std::string label() const;
 };
 
@@ -79,6 +86,7 @@ sim::MachineConfig workload_config(const WorkloadSpec& spec);
 
 struct WorkloadResult {
   bool ran = false;       ///< false when the simulator threw (divergence)
+  bool aborted = false;   ///< !ran due to a sim::SimAbort (watchdog/deadlock)
   std::string error;      ///< the exception message when !ran
   double elapsed = 0;
   std::uint64_t dir_lines = 0;

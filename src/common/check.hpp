@@ -20,6 +20,31 @@ class CheckError : public std::logic_error {
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// How a retrying executor (capmem::exec) must treat a failure.
+/// Deterministic failures reproduce on any same-seed retry (quarantine the
+/// job, keep its repro); transient failures are host-side (allocation,
+/// system resources) and may succeed on retry; timeouts are watchdog-budget
+/// exhaustion — retrying the same budget just burns it again.
+enum class FailureClass { kDeterministic, kTransient, kTimeout };
+
+inline const char* to_string(FailureClass c) {
+  switch (c) {
+    case FailureClass::kDeterministic: return "deterministic";
+    case FailureClass::kTransient: return "transient";
+    case FailureClass::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+/// Mixin for exceptions that know their own FailureClass (sim::SimAbort
+/// implements it). Executors catch by this base to classify without
+/// depending on the throwing layer.
+class ClassifiedFailure {
+ public:
+  virtual ~ClassifiedFailure() = default;
+  virtual FailureClass failure_class() const = 0;
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* cond, const char* file,
                                       int line, const std::string& msg) {

@@ -20,6 +20,7 @@
 
 #include "common/check.hpp"
 #include "exec/pool.hpp"
+#include "exec/recovery.hpp"
 #include "exec/seed.hpp"
 #include "obs/metrics.hpp"
 
@@ -113,6 +114,25 @@ std::vector<Result> parallel_map(int n, int nworkers, Fn&& fn) {
   }
   run_jobs(std::move(jobs), nworkers);
   return slots;
+}
+
+/// Fault-tolerant parallel_map: like parallel_map, but a failing index
+/// never takes the batch down. Slots of non-Ok jobs keep their
+/// default-constructed value; the BatchReport says which (by index, ==
+/// submission order) and why.
+template <typename Result, typename Fn>
+std::pair<std::vector<Result>, BatchReport> try_parallel_map(
+    int n, int nworkers, Fn&& fn, const RecoveryOptions& opts = {}) {
+  CAPMEM_CHECK(n >= 0);
+  std::vector<Result> slots(static_cast<std::size_t>(n));
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Result* slot = &slots[static_cast<std::size_t>(i)];
+    jobs.push_back([&fn, i, slot] { *slot = fn(i); });
+  }
+  BatchReport rep = run_jobs_recover(std::move(jobs), nworkers, opts);
+  return {std::move(slots), std::move(rep)};
 }
 
 }  // namespace capmem::exec

@@ -16,35 +16,44 @@ double us_since(Clock::time_point t0) {
       .count();
 }
 
-// The unobserved dispatch path (the exact pre-obs run_jobs body).
-void run_jobs_raw(std::vector<std::function<void()>>&& jobs, int nworkers) {
+// The unobserved dispatch path. Every job runs (a throw never skips later
+// jobs' slots); failures come back by submission index, already ordered.
+std::vector<JobError> collect_raw(std::vector<std::function<void()>>&& jobs,
+                                  int nworkers) {
+  std::vector<JobError> errors;
   if (nworkers <= 1) {
-    for (auto& j : jobs) j();
-    return;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      try {
+        jobs[i]();
+      } catch (...) {
+        errors.push_back(JobError{i, std::current_exception()});
+      }
+    }
+    return errors;
   }
   Pool pool(std::min<int>(nworkers, static_cast<int>(jobs.size())));
   std::vector<std::future<void>> futs;
   futs.reserve(jobs.size());
   for (auto& j : jobs) futs.push_back(pool.submit(std::move(j)));
-  // Wait for everything before rethrowing so no job still references the
-  // caller's slots when run_jobs returns via an exception.
-  std::exception_ptr first;
-  for (auto& f : futs) {
+  // Wait for everything before returning so no job still references the
+  // caller's slots when run_jobs_collect returns.
+  for (std::size_t i = 0; i < futs.size(); ++i) {
     try {
-      f.get();
+      futs[i].get();
     } catch (...) {
-      if (!first) first = std::current_exception();
+      errors.push_back(JobError{i, std::current_exception()});
     }
   }
-  if (first) std::rethrow_exception(first);
+  return errors;
 }
 
 // Wraps every job with host wall-time profiling recorded into the process
 // registry (installed by obs::Session for --metrics-out). Host times are
 // nondeterministic by nature; they only ever land in the metrics JSON,
 // never in experiment results or stdout.
-void run_jobs_profiled(std::vector<std::function<void()>>&& jobs,
-                       int nworkers, obs::Registry& reg) {
+std::vector<JobError> run_jobs_profiled(
+    std::vector<std::function<void()>>&& jobs, int nworkers,
+    obs::Registry& reg) {
   const std::size_t njobs = jobs.size();
   const Clock::time_point batch_start = Clock::now();
   std::vector<std::function<void()>> wrapped;
@@ -65,7 +74,7 @@ void run_jobs_profiled(std::vector<std::function<void()>>&& jobs,
   reg.add("exec.jobs", static_cast<double>(njobs));
   reg.set("exec.workers", static_cast<double>(std::max(1, nworkers)));
   const double wall_sum_before = reg.hist("exec.job_wall_us").sum;
-  run_jobs_raw(std::move(wrapped), nworkers);
+  std::vector<JobError> errors = collect_raw(std::move(wrapped), nworkers);
   const double batch_us = us_since(batch_start);
   reg.record("exec.batch_wall_us", batch_us);
   // Worker utilization of this batch: summed job wall time over the
@@ -76,7 +85,11 @@ void run_jobs_profiled(std::vector<std::function<void()>>&& jobs,
       batch_us *
       std::max(1, std::min(nworkers, static_cast<int>(njobs)));
   if (denom > 0) reg.record("exec.worker_util", batch_wall_sum / denom);
+  return errors;
 }
+
+// Installed failure handler (process-wide, like the process registry).
+JobFailureHandler g_failure_handler;
 
 }  // namespace
 
@@ -136,13 +149,27 @@ void Pool::worker_loop() {
   }
 }
 
-void run_jobs(std::vector<std::function<void()>>&& jobs, int nworkers) {
+std::vector<JobError> run_jobs_collect(
+    std::vector<std::function<void()>>&& jobs, int nworkers) {
   obs::Registry* reg = obs::process_registry();
-  if (reg == nullptr) {
-    run_jobs_raw(std::move(jobs), nworkers);
+  if (reg == nullptr) return collect_raw(std::move(jobs), nworkers);
+  return run_jobs_profiled(std::move(jobs), nworkers, *reg);
+}
+
+JobFailureHandler set_job_failure_handler(JobFailureHandler h) {
+  JobFailureHandler prev = std::move(g_failure_handler);
+  g_failure_handler = std::move(h);
+  return prev;
+}
+
+void run_jobs(std::vector<std::function<void()>>&& jobs, int nworkers) {
+  std::vector<JobError> errors = run_jobs_collect(std::move(jobs), nworkers);
+  if (errors.empty()) return;
+  if (g_failure_handler) {
+    for (const JobError& e : errors) g_failure_handler(e.job, e.error);
     return;
   }
-  run_jobs_profiled(std::move(jobs), nworkers, *reg);
+  std::rethrow_exception(errors.front().error);
 }
 
 }  // namespace capmem::exec

@@ -9,6 +9,8 @@
 // writing results into pre-sized per-job slots merged in submission order.
 #pragma once
 
+#include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <thread>
@@ -46,10 +48,16 @@ class Pool {
   bool stop_ = false;
 };
 
+/// One failed job: its submission index plus the exception it threw.
+struct JobError {
+  std::size_t job = 0;
+  std::exception_ptr error;
+};
+
 /// Runs every job in `jobs`. With `nworkers` <= 1 the jobs run inline on
 /// the calling thread, in order — the serial reference path; otherwise they
-/// run on a Pool of `nworkers` threads. Either way the first exception (by
-/// submission order) is rethrown after all jobs finish, and results are
+/// run on a Pool of `nworkers` threads. All jobs run even when some throw;
+/// failures are collected in submission order and returned, and results are
 /// whatever the jobs wrote into their own slots: callers give each job
 /// exclusive storage and merge in deterministic order.
 ///
@@ -59,6 +67,22 @@ class Pool {
 /// exec.batch_wall_us histograms and an exec.worker_util estimate. Host
 /// times are nondeterministic; they appear only in the metrics output and
 /// never influence job results.
+std::vector<JobError> run_jobs_collect(
+    std::vector<std::function<void()>>&& jobs, int nworkers);
+
+/// Observes each failed job of a run_jobs batch, in submission order.
+using JobFailureHandler =
+    std::function<void(std::size_t job, std::exception_ptr error)>;
+
+/// Installs a process-wide handler run_jobs delivers failures to (null to
+/// uninstall); returns the previous handler. Not thread-safe: install
+/// before batches start, as obs::Session does for its hooks.
+JobFailureHandler set_job_failure_handler(JobFailureHandler h);
+
+/// run_jobs_collect, then failure delivery: every failure goes to the
+/// installed JobFailureHandler in submission order; without a handler the
+/// first failure is rethrown (the historical contract — bit-identical
+/// behavior on the happy path and for existing callers).
 void run_jobs(std::vector<std::function<void()>>&& jobs, int nworkers);
 
 }  // namespace capmem::exec

@@ -1,0 +1,152 @@
+#include "exec/recovery.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <new>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace capmem::exec {
+
+namespace {
+
+std::string what_of(std::exception_ptr ep) {
+  if (!ep) return "unknown failure";
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
+}  // namespace
+
+FailureClass default_failure_class(std::exception_ptr ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const ClassifiedFailure& c) {
+    return c.failure_class();
+  } catch (const std::bad_alloc&) {
+    return FailureClass::kTransient;
+  } catch (const std::system_error&) {
+    return FailureClass::kTransient;
+  } catch (...) {
+    return FailureClass::kDeterministic;
+  }
+}
+
+std::string BatchReport::summary() const {
+  std::ostringstream os;
+  os << "exec: " << jobs << " job(s) — " << ok << " ok, " << failed
+     << " failed, " << timed_out << " timed out, " << quarantined
+     << " quarantined, " << retried << " retried\n";
+  for (const JobFailure& f : failures) {
+    os << "  job " << f.job << ' ' << to_string(f.status) << " after "
+       << f.attempts << " attempt(s) [" << to_string(f.cls)
+       << "]: " << f.error << '\n';
+  }
+  return os.str();
+}
+
+BatchReport run_jobs_recover(std::vector<std::function<void()>>&& jobs,
+                             int nworkers, const RecoveryOptions& opts) {
+  const std::size_t njobs = jobs.size();
+  const RetryPolicy& rp = opts.retry;
+  CAPMEM_CHECK(rp.max_attempts >= 1);
+  const FailureClassifier classify =
+      opts.classify ? opts.classify : default_failure_class;
+
+  // Per-job outcome slots, exclusive to each wrapper (same slot discipline
+  // run_jobs gives its callers).
+  struct Slot {
+    JobStatus status = JobStatus::kOk;
+    FailureClass cls = FailureClass::kDeterministic;
+    int attempts = 1;
+    std::exception_ptr eptr;
+  };
+  std::vector<Slot> slots(njobs);
+
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(njobs);
+  for (std::size_t i = 0; i < njobs; ++i) {
+    Slot* slot = &slots[i];
+    wrapped.push_back([job = std::move(jobs[i]), slot, &classify, &rp] {
+      double backoff = rp.backoff_ms;
+      for (int attempt = 1;; ++attempt) {
+        slot->attempts = attempt;
+        try {
+          job();  // same functor every attempt: same derived seed
+          slot->status = JobStatus::kOk;
+          slot->eptr = nullptr;
+          return;
+        } catch (...) {
+          slot->eptr = std::current_exception();
+          slot->cls = classify(slot->eptr);
+        }
+        if (slot->cls == FailureClass::kTransient &&
+            attempt < rp.max_attempts) {
+          if (rp.sleep && backoff > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff));
+          }
+          backoff = std::min(backoff * rp.backoff_factor, rp.max_backoff_ms);
+          continue;
+        }
+        switch (slot->cls) {
+          case FailureClass::kDeterministic:
+            slot->status = JobStatus::kQuarantined;
+            break;
+          case FailureClass::kTimeout:
+            slot->status = JobStatus::kTimedOut;
+            break;
+          case FailureClass::kTransient:
+            slot->status = JobStatus::kFailed;
+            break;
+        }
+        return;  // recorded, not rethrown: sibling jobs keep running
+      }
+    });
+  }
+  run_jobs_collect(std::move(wrapped), nworkers);  // wrappers never throw
+
+  BatchReport rep;
+  rep.jobs = njobs;
+  for (std::size_t i = 0; i < njobs; ++i) {
+    const Slot& s = slots[i];
+    if (s.attempts > 1) ++rep.retried;
+    if (s.status == JobStatus::kOk) {
+      ++rep.ok;
+      continue;
+    }
+    switch (s.status) {
+      case JobStatus::kFailed: ++rep.failed; break;
+      case JobStatus::kTimedOut: ++rep.timed_out; break;
+      case JobStatus::kQuarantined: ++rep.quarantined; break;
+      case JobStatus::kOk: break;
+    }
+    JobFailure f;
+    f.job = i;
+    f.status = s.status;
+    f.cls = s.cls;
+    f.attempts = s.attempts;
+    f.eptr = s.eptr;
+    f.error = what_of(s.eptr);
+    rep.failures.push_back(std::move(f));
+  }
+
+  if (obs::Registry* reg = obs::process_registry()) {
+    reg->add("exec.jobs_ok", static_cast<double>(rep.ok));
+    reg->add("exec.jobs_failed", static_cast<double>(rep.failed));
+    reg->add("exec.jobs_timed_out", static_cast<double>(rep.timed_out));
+    reg->add("exec.jobs_quarantined", static_cast<double>(rep.quarantined));
+    reg->add("exec.jobs_retried", static_cast<double>(rep.retried));
+  }
+  return rep;
+}
+
+}  // namespace capmem::exec

@@ -1,0 +1,117 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "sim/config.hpp"
+
+namespace capmem::fault {
+
+namespace {
+
+// SplitMix64 finalizer — same construction exec::derive_seed uses, local so
+// sim-linked code does not grow an exec dependency.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> FaultPlan::degraded_tile_mask(
+    int active_tiles) const {
+  CAPMEM_CHECK(active_tiles > 0);
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(active_tiles), 0);
+  if (!mesh_enabled()) return mask;
+  const int want = std::min(degraded_tiles, active_tiles);
+  // Deterministic sample without replacement: walk a keyed permutation
+  // stream until `want` distinct tiles are marked.
+  int marked = 0;
+  for (std::uint64_t i = 0; marked < want; ++i) {
+    const auto t = static_cast<std::size_t>(
+        mix64(seed ^ (0xFA01ull << 32) ^ i) %
+        static_cast<std::uint64_t>(active_tiles));
+    if (mask[t]) continue;
+    mask[t] = 1;
+    ++marked;
+  }
+  return mask;
+}
+
+std::vector<double> FaultPlan::channel_factors(int channels,
+                                               bool mcdram) const {
+  CAPMEM_CHECK(channels > 0);
+  std::vector<double> f(static_cast<std::size_t>(channels), 1.0);
+  if (!channels_enabled()) return f;
+  const int want = std::min(
+      mcdram ? flaky_mcdram_channels : flaky_dram_channels, channels);
+  const std::uint64_t stream = seed ^ (mcdram ? 0xFA02ull : 0xFA03ull) << 32;
+  int marked = 0;
+  for (std::uint64_t i = 0; marked < want; ++i) {
+    const auto c = static_cast<std::size_t>(
+        mix64(stream ^ i) % static_cast<std::uint64_t>(channels));
+    if (f[c] != 1.0) continue;
+    f[c] = channel_rate_factor;
+    ++marked;
+  }
+  return f;
+}
+
+std::string FaultPlan::describe() const {
+  if (!enabled()) return "healthy";
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (extra_disabled_tiles > 0) {
+    os << ", -" << extra_disabled_tiles << " tiles";
+  }
+  if (mesh_enabled()) {
+    os << ", " << degraded_tiles << " lossy mesh endpoint(s) +"
+       << link_retry_ns << " ns";
+  }
+  if (channels_enabled()) {
+    os << ", flaky channels ddr=" << flaky_dram_channels
+       << " mcdram=" << flaky_mcdram_channels << " @x"
+       << channel_rate_factor;
+  }
+  if (stuck_enabled()) {
+    os << ", " << stuck_line_fraction * 100.0
+       << "% sticky dir lines +" << stuck_retry_ns << " ns";
+  }
+  return os.str();
+}
+
+FaultPlan from_seed(std::uint64_t seed, int severity) {
+  CAPMEM_CHECK(severity >= 0 && severity <= 3);
+  FaultPlan p;
+  p.seed = mix64(seed ^ 0xFA0Dull);
+  if (severity >= 1) {
+    p.degraded_tiles = 2 + static_cast<int>(p.seed % 3);  // 2-4 endpoints
+  }
+  if (severity >= 2) {
+    p.flaky_dram_channels = 1 + static_cast<int>(mix64(p.seed + 1) % 2);
+    p.flaky_mcdram_channels = 1 + static_cast<int>(mix64(p.seed + 2) % 3);
+    p.stuck_line_fraction = 0.02;
+  }
+  if (severity >= 3) {
+    p.extra_disabled_tiles = 4;
+    p.stuck_line_fraction = 0.05;
+  }
+  return p;
+}
+
+void apply(sim::MachineConfig& cfg, const FaultPlan& plan) {
+  if (plan.extra_disabled_tiles > 0) {
+    CAPMEM_CHECK_MSG(plan.extra_disabled_tiles % 4 == 0,
+                     "extra_disabled_tiles must disable one tile per "
+                     "quadrant (multiple of 4)");
+    CAPMEM_CHECK_MSG(cfg.active_tiles - plan.extra_disabled_tiles >= 4,
+                     "fault plan would disable every tile");
+    cfg.active_tiles -= plan.extra_disabled_tiles;
+  }
+  cfg.fault = &plan;
+}
+
+}  // namespace capmem::fault

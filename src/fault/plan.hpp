@@ -1,0 +1,111 @@
+// Deterministic hardware-fault injection for the simulated KNL.
+//
+// Real manycore parts ship degraded: the KNL 7210 itself fuses off 2 of its
+// 38 tiles, and fielded machines accumulate flaky links, slow channels and
+// sticky directory entries well before they fail outright. A FaultPlan is a
+// seed-derived description of such degraded silicon. It is injected through
+// the same nullable MachineConfig hook seam as the observability sinks: null
+// by default, one-branch disabled paths, and — because every penalty is a
+// deterministic additive latency, never an extra RNG draw — attaching a
+// disabled plan is byte-identical to attaching none.
+//
+// The plan degrades, it never breaks: faulty hardware in this model retries
+// and succeeds slower, exercising exactly the code paths (topology
+// yield-victim rerouting, directory serialization, channel reservation)
+// that healthy runs use, with shifted constants. Crash-style failures are
+// the engine watchdog's department (sim/abort.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capmem::sim {
+struct MachineConfig;
+}  // namespace capmem::sim
+
+namespace capmem::fault {
+
+/// Seed-derived description of degraded silicon. All knobs default to
+/// healthy; `enabled()` is false for a default-constructed plan.
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< selects *which* tiles/channels/lines degrade
+
+  /// Extra tiles fused off beyond the stock disabled set. Must be a
+  /// multiple of 4 (one per quadrant, like the topology's own victim
+  /// selection). Applied by apply() as a reduction of active_tiles, so the
+  /// same per-quadrant yield-victim path real binning exercises runs.
+  int extra_disabled_tiles = 0;
+
+  /// Tiles whose mesh endpoints are lossy: every directory / cache-to-cache
+  /// / memory path touching one pays `link_retry_ns` per degraded endpoint
+  /// (one link-level retry worth of latency).
+  int degraded_tiles = 0;
+  double link_retry_ns = 40.0;
+
+  /// Flaky memory channels, serving at `channel_rate_factor` of the healthy
+  /// rate (controller-level CRC retry loops eat the difference).
+  int flaky_dram_channels = 0;
+  int flaky_mcdram_channels = 0;
+  double channel_rate_factor = 0.5;
+
+  /// Fraction of directory lines whose CHA entry is sticky: each access
+  /// pays one `stuck_retry_ns` re-lookup before service.
+  double stuck_line_fraction = 0.0;
+  double stuck_retry_ns = 120.0;
+
+  bool mesh_enabled() const {
+    return degraded_tiles > 0 && link_retry_ns > 0;
+  }
+  bool channels_enabled() const {
+    return (flaky_dram_channels > 0 || flaky_mcdram_channels > 0) &&
+           channel_rate_factor < 1.0;
+  }
+  bool stuck_enabled() const {
+    return stuck_line_fraction > 0 && stuck_retry_ns > 0;
+  }
+  bool enabled() const {
+    return extra_disabled_tiles > 0 || mesh_enabled() ||
+           channels_enabled() || stuck_enabled();
+  }
+
+  /// Per-tile degraded-endpoint flags for a machine with `active_tiles`
+  /// tiles. Which tiles degrade depends only on (seed, active_tiles).
+  std::vector<std::uint8_t> degraded_tile_mask(int active_tiles) const;
+
+  /// Per-channel rate factors for a pool of `channels` servers (1.0 =
+  /// healthy). `mcdram` picks an independent seed stream so DDR and MCDRAM
+  /// faults don't mirror each other.
+  std::vector<double> channel_factors(int channels, bool mcdram) const;
+
+  /// Whether directory line `line` is sticky under this plan. Hot-path
+  /// inline: one multiply-xor hash against the fraction threshold.
+  bool line_stuck(std::uint64_t line) const {
+    std::uint64_t x = (line + 1) * 0x9E3779B97F4A7C15ull ^ seed;
+    x ^= x >> 29;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 32;
+    // Compare against the fraction as a fixed-point threshold over 2^32.
+    const auto thresh = static_cast<std::uint64_t>(
+        stuck_line_fraction * 4294967296.0);
+    return (x >> 32) < thresh;
+  }
+
+  /// One-line human description ("severity 2: -4 tiles, 3 lossy links,
+  /// ...") for manifests and quarantine reports.
+  std::string describe() const;
+};
+
+/// Canonical seed-derived plans at increasing severity. 0 is healthy
+/// (enabled() == false); 1-3 degrade progressively: lossy mesh links, then
+/// flaky channels + sticky directory lines, then extra fused-off tiles on
+/// top. The same (seed, severity) always yields the same plan.
+FaultPlan from_seed(std::uint64_t seed, int severity);
+
+/// Injects the plan into a machine config: reduces active_tiles by
+/// extra_disabled_tiles (CHECKed to stay a valid multiple of 4) and points
+/// cfg.fault at `plan`. The plan is borrowed, not copied — it must outlive
+/// every Machine built from cfg.
+void apply(sim::MachineConfig& cfg, const FaultPlan& plan);
+
+}  // namespace capmem::fault

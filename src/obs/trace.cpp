@@ -21,6 +21,8 @@ const char* to_string(EventKind k) {
     case EventKind::kNocHops: return "noc-hops";
     case EventKind::kChannelXfer: return "channel-xfer";
     case EventKind::kCheckViolation: return "check-violation";
+    case EventKind::kFaultRetry: return "fault-retry";
+    case EventKind::kAbort: return "abort";
   }
   return "?";
 }
@@ -38,6 +40,8 @@ unsigned category_of(EventKind k) {
     case EventKind::kNocHops: return kCatNoc;
     case EventKind::kChannelXfer: return kCatChannel;
     case EventKind::kCheckViolation: return kCatCheck;
+    case EventKind::kFaultRetry:
+    case EventKind::kAbort: return kCatFault;
   }
   return kCatTask;
 }
@@ -56,11 +60,12 @@ unsigned parse_categories(const std::string& csv) {
     else if (part == "noc") mask |= kCatNoc;
     else if (part == "channel") mask |= kCatChannel;
     else if (part == "check") mask |= kCatCheck;
+    else if (part == "fault") mask |= kCatFault;
     else {
       CAPMEM_CHECK_MSG(false, "unknown trace event category '"
                                   << part
                                   << "' (task, access, coherence, directory, "
-                                     "noc, channel, check, all)");
+                                     "noc, channel, check, fault, all)");
     }
   }
   CAPMEM_CHECK_MSG(mask != 0, "empty trace event category list");
@@ -220,6 +225,23 @@ void ChromeTraceWriter::on_event(const TraceEvent& e) {
                     ",\"s\":\"g\",\"args\":{\"tid\":%d,\"tile\":%d,"
                     "\"line\":%" PRIu64 "}}",
                     e.tid, e.tile, e.line);
+      s += buf;
+      break;
+    case EventKind::kFaultRetry:
+      append_common(s, e.label != nullptr ? e.label : "fault-retry", "fault",
+                    'i', kPidCores, e.core, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"s\":\"t\",\"args\":{\"tid\":%d,\"line\":%" PRIu64
+                    ",\"retries\":%d}}",
+                    e.tid, e.line, e.a);
+      s += buf;
+      break;
+    case EventKind::kAbort:
+      // Global mark on the stuck task's track: the whole run ends here.
+      append_common(s, e.label != nullptr ? e.label : "abort", "fault", 'i',
+                    kPidTasks, e.tid, e.t);
+      std::snprintf(buf, sizeof(buf), ",\"s\":\"g\",\"args\":{\"tid\":%d}}",
+                    e.tid);
       s += buf;
       break;
   }

@@ -33,6 +33,8 @@ enum class EventKind : std::uint8_t {
   kChannelXfer,  ///< channel reservation; a = channel, dur = service,
                  ///<   queue_ns = controller queue delay, label = pool name
   kCheckViolation,  ///< capmem::check divergence; label = checker message
+  kFaultRetry,   ///< fault-injection retry; label = fault site, a = retries
+  kAbort,        ///< engine SimAbort; tid = stuck task, label = abort kind
 };
 
 const char* to_string(EventKind k);
@@ -46,7 +48,8 @@ enum : unsigned {
   kCatNoc = 1u << 4,
   kCatChannel = 1u << 5,
   kCatCheck = 1u << 6,
-  kCatAll = (1u << 7) - 1,
+  kCatFault = 1u << 7,
+  kCatAll = (1u << 8) - 1,
 };
 unsigned category_of(EventKind k);
 /// Parses a comma list of {task,access,coherence,directory,noc,channel,all};

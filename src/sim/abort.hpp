@@ -1,0 +1,88 @@
+// Structured, catchable simulation aborts and the watchdog budgets that
+// raise them.
+//
+// The engine used to have exactly one failure mode — a deadlock report —
+// and a pathological schedule that never deadlocks (a livelock spinning on
+// a never-written flag line, or a runaway op storm) would hang the process.
+// WatchdogBudget bounds a run in scheduler steps, virtual time, and park
+// age; exceeding a budget raises SimAbort with the same stuck-task
+// diagnostics the deadlock report carries. SimAbort derives from CheckError
+// (existing catch sites keep working) and implements ClassifiedFailure so
+// the exec layer can decide retry-vs-quarantine without knowing about the
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace capmem::sim {
+
+/// Why the engine gave up.
+enum class AbortKind {
+  kDeadlock,        ///< no runnable task, live tasks remain
+  kLivelock,        ///< step or park-age budget exceeded while still running
+  kBudgetExceeded,  ///< virtual-time budget exceeded
+};
+
+inline const char* to_string(AbortKind k) {
+  switch (k) {
+    case AbortKind::kDeadlock: return "deadlock";
+    case AbortKind::kLivelock: return "livelock";
+    case AbortKind::kBudgetExceeded: return "budget-exceeded";
+  }
+  return "?";
+}
+
+/// Engine watchdog budgets; 0 means unlimited. Checking costs one
+/// predictable branch per scheduler step when nothing is armed, so default
+/// runs stay byte-identical.
+struct WatchdogBudget {
+  std::uint64_t max_steps = 0;  ///< scheduler steps before kLivelock
+  Nanos max_virtual_ns = 0;     ///< virtual time before kBudgetExceeded
+  Nanos max_park_age_ns = 0;    ///< oldest parked waiter before kLivelock
+
+  bool armed() const {
+    return max_steps != 0 || max_virtual_ns != 0 || max_park_age_ns != 0;
+  }
+};
+
+/// Raised by Engine::run() instead of hanging or dying: deadlocks, tripped
+/// watchdog budgets. Carries the diagnostics the text report is built from
+/// so harnesses can triage without parsing the message.
+class SimAbort : public CheckError, public ClassifiedFailure {
+ public:
+  SimAbort(AbortKind kind, const std::string& what, Nanos at,
+           std::uint64_t steps, int stuck_tid, Nanos stuck_park_age)
+      : CheckError(what),
+        kind_(kind),
+        at_(at),
+        steps_(steps),
+        stuck_tid_(stuck_tid),
+        stuck_park_age_(stuck_park_age) {}
+
+  AbortKind kind() const { return kind_; }
+  Nanos at() const { return at_; }                ///< virtual time of abort
+  std::uint64_t steps() const { return steps_; }  ///< scheduler steps run
+  /// Longest-parked task at abort time, -1 when nothing was parked.
+  int stuck_tid() const { return stuck_tid_; }
+  /// How long that task had been parked (virtual ns, >= 0).
+  Nanos stuck_park_age() const { return stuck_park_age_; }
+
+  /// Deadlocks reproduce under the same seed; budget trips are timeouts.
+  FailureClass failure_class() const override {
+    return kind_ == AbortKind::kDeadlock ? FailureClass::kDeterministic
+                                         : FailureClass::kTimeout;
+  }
+
+ private:
+  AbortKind kind_;
+  Nanos at_;
+  std::uint64_t steps_;
+  int stuck_tid_;
+  Nanos stuck_park_age_;
+};
+
+}  // namespace capmem::sim

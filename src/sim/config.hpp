@@ -13,11 +13,16 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/abort.hpp"
 
 namespace capmem::obs {
 class TraceSink;
 class Registry;
 }  // namespace capmem::obs
+
+namespace capmem::fault {
+struct FaultPlan;
+}  // namespace capmem::fault
 
 namespace capmem::sim {
 
@@ -195,6 +200,17 @@ struct MachineConfig {
   /// transition and home-CHA resolution. Same contract as the observability
   /// sinks — null by default, never steers, single-branch disabled path.
   CheckHook* check = nullptr;
+  /// Fault-injection plan (capmem::fault): deterministic degraded-silicon
+  /// penalties on mesh paths, channels and directory lines. Unlike the
+  /// observer hooks it *does* change virtual-time results when attached —
+  /// that is its purpose — but null (the default) is byte-identical to the
+  /// pre-fault simulator. Borrowed pointer: the plan must outlive the
+  /// Machine.
+  const fault::FaultPlan* fault = nullptr;
+
+  /// Engine watchdog budgets (see sim/abort.hpp). All-zero (the default)
+  /// disarms the watchdog entirely.
+  WatchdogBudget watchdog;
 
   int cores() const { return active_tiles * cores_per_tile; }
   int hw_threads() const { return cores() * threads_per_core; }

@@ -183,6 +183,7 @@ void Engine::run() {
     CAPMEM_DCHECK(e.t + 1e-6 >= global_time_);
     global_time_ = std::max(global_time_, e.t);
     ++steps_;
+    if (wd_armed_) watchdog_check();
     if ((e.payload & 1) == 0) {
       const auto h =
           Task::Handle::from_address(reinterpret_cast<void*>(e.payload));
@@ -200,17 +201,59 @@ void Engine::run() {
   if (live_ > 0) report_deadlock();
 }
 
-void Engine::report_deadlock() const {
+void Engine::watchdog_check() {
+  if (wd_.max_steps != 0 && steps_ > wd_.max_steps) {
+    std::ostringstream r;
+    r << "step budget " << wd_.max_steps << " exceeded";
+    raise_abort(AbortKind::kLivelock, r.str());
+  }
+  if (wd_.max_virtual_ns != 0 && global_time_ > wd_.max_virtual_ns) {
+    std::ostringstream r;
+    r << "virtual-time budget " << wd_.max_virtual_ns << " ns exceeded";
+    raise_abort(AbortKind::kBudgetExceeded, r.str());
+  }
+  // Park-age scan is O(parked tasks); amortize it over 64 steps. The trip
+  // point stays deterministic: virtual state is a pure function of the
+  // schedule, and so is the step counter.
+  if (wd_.max_park_age_ns != 0 && (steps_ & 63) == 0) {
+    Nanos worst = 0;
+    parked_.for_each([&](std::uint64_t, const WaiterList& ws) {
+      for (const auto& w : ws) {
+        worst = std::max(worst, global_time_ - w.parked_at);
+      }
+    });
+    if (worst > wd_.max_park_age_ns) {
+      std::ostringstream r;
+      r << "park-age budget " << wd_.max_park_age_ns << " ns exceeded";
+      raise_abort(AbortKind::kLivelock, r.str());
+    }
+  }
+}
+
+void Engine::raise_abort(AbortKind kind, const std::string& reason) {
+  running_ = false;
   std::ostringstream os;
-  os << "simulation deadlock at t=" << global_time_ << " ns: " << live_
-     << " task(s) blocked;";
+  os << "simulation " << to_string(kind) << " at t=" << global_time_
+     << " ns";
+  if (kind == AbortKind::kDeadlock) {
+    os << ": " << live_ << " task(s) blocked;";
+  } else {
+    os << " after " << steps_ << " step(s): " << reason << ";";
+  }
+  int stuck_tid = -1;
+  Nanos stuck_age = 0;
   std::size_t parked_count = 0;
   parked_.for_each([&](std::uint64_t key, const WaiterList& ws) {
     parked_count += ws.size();
     os << " line " << key << " <- {";
     for (const auto& w : ws) {
+      const Nanos age = std::max<Nanos>(0, global_time_ - w.parked_at);
+      if (stuck_tid < 0 || age > stuck_age) {
+        stuck_tid = w.h.promise().tid;
+        stuck_age = age;
+      }
       os << " tid " << w.h.promise().tid << " (parked at t=" << w.parked_at
-         << ")";
+         << ", age=" << age << " ns)";
     }
     os << " }";
   });
@@ -219,8 +262,22 @@ void Engine::report_deadlock() const {
     for (Task::Handle w : sync_q_) os << " tid " << w.promise().tid;
     os << " }";
   }
-  if (parked_count == 0 && sync_q_.empty()) os << " (unknown wait state)";
-  throw CheckError(os.str());
+  if (parked_count == 0 && sync_q_.empty() &&
+      kind == AbortKind::kDeadlock) {
+    os << " (unknown wait state)";
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kAbort;
+    e.t = global_time_;
+    e.tid = stuck_tid;
+    e.label = to_string(kind);
+    trace_->on_event(e);
+  }
+  throw SimAbort(kind, os.str(), global_time_, steps_, stuck_tid,
+                 stuck_age);
 }
+
+void Engine::report_deadlock() { raise_abort(AbortKind::kDeadlock, ""); }
 
 }  // namespace capmem::sim

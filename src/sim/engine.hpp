@@ -22,6 +22,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "sim/abort.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/line_table.hpp"
 #include "sim/small_vec.hpp"
@@ -119,9 +120,19 @@ class Engine {
   /// Returns its task id (dense, starting at 0).
   int spawn(Task task, Nanos start = 0);
 
-  /// Runs until every task finished. Throws on task exceptions and reports
-  /// deadlocks (tasks parked forever / barrier mismatch).
+  /// Runs until every task finished. Throws on task exceptions; raises
+  /// SimAbort (a CheckError) on deadlocks (tasks parked forever / barrier
+  /// mismatch) and on tripped watchdog budgets instead of hanging or
+  /// killing the process.
   void run();
+
+  /// Arms (or disarms, with an all-zero budget) the watchdog. Must be set
+  /// before run(); the disabled path costs one branch per step.
+  void set_watchdog(const WatchdogBudget& b) {
+    wd_ = b;
+    wd_armed_ = b.armed();
+  }
+  const WatchdogBudget& watchdog() const { return wd_; }
 
   /// Virtual time of the most recently executed step.
   Nanos now() const { return global_time_; }
@@ -196,7 +207,9 @@ class Engine {
   void finish(Task::Handle h);
   void release_sync();
   void run_callback(std::uint64_t payload);
-  [[noreturn]] void report_deadlock() const;
+  void watchdog_check();
+  [[noreturn]] void raise_abort(AbortKind kind, const std::string& reason);
+  [[noreturn]] void report_deadlock();
 
   EventQueue run_q_;
   LineTable<WaiterList> parked_;
@@ -217,6 +230,8 @@ class Engine {
   int live_ = 0;
   bool running_ = false;
   obs::TraceSink* trace_ = nullptr;
+  WatchdogBudget wd_;
+  bool wd_armed_ = false;
 };
 
 }  // namespace capmem::sim

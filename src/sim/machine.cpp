@@ -293,6 +293,7 @@ Machine::Machine(MachineConfig cfg)
       mem_(cfg_, topo_, engine_.rng()) {
   cfg_.validate();
   engine_.set_trace(cfg_.trace);
+  engine_.set_watchdog(cfg_.watchdog);
   Rng skew_rng(cfg_.seed ^ 0x75c5u);
   tsc_skew_.resize(static_cast<std::size_t>(cfg_.cores()));
   for (auto& s : tsc_skew_) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/plan.hpp"
 #include "sim/mutation.hpp"
 
 namespace capmem::sim {
@@ -59,6 +60,38 @@ MemSystem::MemSystem(const MachineConfig& cfg, const Topology& topo, Rng& rng)
       mcdram_.set_obs(trace_, "mcdram");
     }
   }
+  fault_ = cfg.fault;
+  if (fault_ != nullptr) {
+    if (fault_->mesh_enabled()) {
+      fault_mesh_ = fault_->degraded_tile_mask(cfg.active_tiles);
+    }
+    if (fault_->channels_enabled()) {
+      dram_.set_fault_factors(fault_->channel_factors(dram_.size(), false));
+      mcdram_.set_fault_factors(
+          fault_->channel_factors(mcdram_.size(), true));
+    }
+    fault_stuck_ = fault_->stuck_enabled();
+  }
+}
+
+Nanos MemSystem::fault_path_penalty(int tid, Nanos now, int a, int b,
+                                    int c) {
+  int retries = 0;
+  retries += fault_mesh_[static_cast<std::size_t>(a)];
+  retries += fault_mesh_[static_cast<std::size_t>(b)];
+  if (c >= 0) retries += fault_mesh_[static_cast<std::size_t>(c)];
+  if (retries == 0) return 0;
+  fault_link_retries_ += static_cast<std::uint64_t>(retries);
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kFaultRetry;
+    e.t = now;
+    e.tid = tid;
+    e.a = retries;
+    e.label = "mesh-link";
+    trace_->on_event(e);
+  }
+  return fault_->link_retry_ns * retries;
 }
 
 Nanos MemSystem::jitter(Nanos v, bool allow_spike) {
@@ -283,6 +316,10 @@ AccessResult MemSystem::memory_access(int tid, int core, Line line,
   const int legs = mesh_legs(req_tile, target.home_tile, target.mem_stop);
   const Nanos path = lt.hop * legs;
   if (obs_on_) note_hops(tid, core, legs, now);
+  const Nanos fpen =
+      fault_mesh_.empty()
+          ? 0
+          : fault_path_penalty(tid, now, req_tile, target.home_tile);
 
   AccessResult res;
   const bool rfo = type == AccessType::kWrite && !opts.nt;
@@ -362,6 +399,7 @@ AccessResult MemSystem::memory_access(int tid, int core, Line line,
     res.finish =
         std::max({now + jitter(path + service), core_done, channel_done});
   }
+  res.finish += fpen;
   res.prior = TileState::kI;
   return res;
 }
@@ -598,7 +636,21 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     }
 
     // Directory request: serialize at the line's CHA (contention law).
-    const Nanos svc_start = std::max(now, e.service_available);
+    Nanos svc_start = std::max(now, e.service_available);
+    if (fault_stuck_ && fault_->line_stuck(line)) {
+      // Sticky CHA entry: one extra re-lookup before service.
+      svc_start += fault_->stuck_retry_ns;
+      ++fault_stuck_hits_;
+      if (trace_ != nullptr) {
+        obs::TraceEvent fe;
+        fe.kind = obs::EventKind::kFaultRetry;
+        fe.t = now;
+        fe.tid = tid;
+        fe.line = line;
+        fe.label = "stuck-dir";
+        trace_->on_event(fe);
+      }
+    }
     e.service_available = svc_start + jitter(lt.line_service, false);
     const MemTarget& target = target_of(e, line, place);
     if (obs_on_) {
@@ -632,6 +684,10 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
             std::max(svc_start + cost, core_issue(core, now, 1.0));
       }
       res.finish = std::max(res.finish, l2_supply(e.owner, svc_start));
+      if (!fault_mesh_.empty()) {
+        res.finish +=
+            fault_path_penalty(tid, now, tile, target.home_tile, e.owner);
+      }
       if (e.dirty) {
         // Downgrade write-back (MESIF: dirty owner -> S, memory updated).
         ctr.writebacks++;
@@ -673,6 +729,10 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
               std::max(svc_start + cost, core_issue(core, now, 1.0));
         }
         res.finish = std::max(res.finish, l2_supply(e.forward, svc_start));
+        if (!fault_mesh_.empty()) {
+          res.finish += fault_path_penalty(tid, now, tile, target.home_tile,
+                                           e.forward);
+        }
         e.forward = tile;  // F migrates to the newest requester
         fill_caches(core, tile, line, e);
         Directory::check_entry(e);
@@ -737,7 +797,20 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
   }
 
   // RFO through the directory.
-  const Nanos svc_start = std::max(now, e.service_available);
+  Nanos svc_start = std::max(now, e.service_available);
+  if (fault_stuck_ && fault_->line_stuck(line)) {
+    svc_start += fault_->stuck_retry_ns;
+    ++fault_stuck_hits_;
+    if (trace_ != nullptr) {
+      obs::TraceEvent fe;
+      fe.kind = obs::EventKind::kFaultRetry;
+      fe.t = now;
+      fe.tid = tid;
+      fe.line = line;
+      fe.label = "stuck-dir";
+      trace_->on_event(fe);
+    }
+  }
   e.service_available = svc_start + jitter(lt.line_service, false);
   const MemTarget& target = target_of(e, line, place);
   if (obs_on_) {
@@ -765,6 +838,9 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
       res.finish = std::max(svc_start + cost, core_issue(core, now, 1.0));
     }
     res.finish = std::max(res.finish, l2_supply(src, svc_start));
+    if (!fault_mesh_.empty()) {
+      res.finish += fault_path_penalty(tid, now, tile, target.home_tile, src);
+    }
     invalidate_others(e, line, tile, tid, now);
   } else if (e.l2_mask != 0 && !(e.owner == tile)) {
     // Upgrade from shared: invalidation round via the home CHA.
@@ -783,6 +859,9 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     } else {
       cost = remote_transfer_cost(TileState::kS, legs);
       res.finish = std::max(svc_start + cost, core_issue(core, now, 1.0));
+    }
+    if (!fault_mesh_.empty()) {
+      res.finish += fault_path_penalty(tid, now, tile, target.home_tile, far);
     }
     invalidate_others(e, line, tile, tid, now);
     ctr.remote_hits++;
@@ -948,6 +1027,18 @@ void MemSystem::flush_metrics(Nanos elapsed) {
     reg.record("sim.mc_cache.hit_ratio",
                static_cast<double>(sum.mc_cache_hits) /
                    static_cast<double>(mc_total));
+  }
+
+  // Fault-injection counters (only with a plan attached, so healthy runs
+  // don't grow zero-valued keys).
+  if (fault_ != nullptr) {
+    reg.add("sim.fault.link_retries",
+            static_cast<double>(fault_link_retries_));
+    reg.add("sim.fault.stuck_dir_hits",
+            static_cast<double>(fault_stuck_hits_));
+    reg.add("sim.fault.degraded_transfers",
+            static_cast<double>(dram_.degraded_transfers() +
+                                mcdram_.degraded_transfers()));
   }
 }
 

@@ -188,6 +188,11 @@ class MemSystem {
   void note_coherence(int tid, int core, int tile, Line line, TileState from,
                       TileState to, Nanos now, const char* label);
 
+  // Fault-injection tap: additive penalty for a mesh path whose endpoint
+  // tiles (`c` < 0 when the path has only two) include degraded ones.
+  // Callers guard with `!fault_mesh_.empty()`.
+  Nanos fault_path_penalty(int tid, Nanos now, int a, int b, int c = -1);
+
   // Streaming issue occupancy for a line served at `level`.
   Nanos stream_issue_cost(Level level, TileState prior, AccessType type,
                           const AccessOpts& opts) const;
@@ -220,6 +225,14 @@ class MemSystem {
   CheckHook* check_ = nullptr;
   bool obs_on_ = false;
   bool tapped_ = false;  ///< obs_on_ || check_ attached (hot-path gate)
+
+  // Fault-injection state (all empty/false without a FaultPlan; the healthy
+  // hot path pays one vector-emptiness / bool branch per guarded site).
+  const fault::FaultPlan* fault_ = nullptr;
+  std::vector<std::uint8_t> fault_mesh_;  ///< per-tile degraded endpoints
+  bool fault_stuck_ = false;
+  std::uint64_t fault_link_retries_ = 0;
+  std::uint64_t fault_stuck_hits_ = 0;
   std::vector<std::uint64_t> dir_requests_;  // per home tile
   std::uint64_t noc_hops_total_ = 0;
   obs::Log2Hist cha_queue_;                  // directory queueing delays

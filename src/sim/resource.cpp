@@ -9,6 +9,13 @@ namespace capmem::sim {
 Nanos ChannelPool::transfer(int channel, Nanos now, double bytes,
                             double rate_factor) {
   Reservation& ch = channels_.at(static_cast<std::size_t>(channel));
+  if (!degrade_.empty()) {
+    const double f = degrade_[static_cast<std::size_t>(channel)];
+    if (f != 1.0) {
+      rate_factor *= f;
+      ++degraded_transfers_;
+    }
+  }
   const Nanos service = bytes / (rate_ * rate_factor);
   const Nanos arrive = now - lead_ns_;
   // Queue delay: time the request sat behind earlier reservations between

@@ -7,6 +7,7 @@
 // nondecreasing virtual time, this is an exact single-server FIFO queue.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/check.hpp"
@@ -80,6 +81,17 @@ class ChannelPool {
     name_ = name;
   }
 
+  /// Installs per-channel fault factors (1.0 = healthy; < 1.0 = flaky
+  /// channel serving at that fraction of the pool rate). Empty (the
+  /// default) keeps the healthy fast path to a single branch per transfer.
+  /// Sized vectors must match size().
+  void set_fault_factors(std::vector<double> factors) {
+    CAPMEM_CHECK(factors.empty() || factors.size() == channels_.size());
+    degrade_ = std::move(factors);
+  }
+  /// Transfers that hit a flaky channel since construction/reset.
+  std::uint64_t degraded_transfers() const { return degraded_transfers_; }
+
   int size() const { return static_cast<int>(channels_.size()); }
   GBps rate() const { return rate_; }
   Nanos lead() const { return lead_ns_; }
@@ -99,12 +111,15 @@ class ChannelPool {
   void reset() {
     for (auto& c : channels_) c.reset();
     last_queue_ns_ = 0;
+    degraded_transfers_ = 0;
   }
 
  private:
   GBps rate_;
   Nanos lead_ns_;
   std::vector<Reservation> channels_;
+  std::vector<double> degrade_;  ///< empty unless a fault plan is attached
+  std::uint64_t degraded_transfers_ = 0;
   Nanos last_queue_ns_ = 0;
   obs::TraceSink* trace_ = nullptr;
   const char* name_ = "channel";

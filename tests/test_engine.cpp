@@ -198,6 +198,153 @@ TEST(Engine, DeadlockDiagnosticNamesTheStuckTask) {
   }
 }
 
+TEST(Engine, DeadlockIsAStructuredSimAbort) {
+  // The deadlock report is now a SimAbort: still a CheckError (the two
+  // tests above keep catching it), but carrying kind/tid/park-age fields so
+  // harnesses can triage without parsing the message, and classified as
+  // deterministic — retrying the same seed deadlocks again.
+  Engine e(1);
+  auto waiter = [&]() -> Task {
+    co_await Advance{17.0};
+    struct ParkForever {
+      Engine* e;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Task::Handle h) const {
+        e->park(99, h, [](Nanos) { return false; });
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await ParkForever{&e};
+  };
+  e.spawn(waiter());
+  try {
+    e.run();
+    FAIL() << "expected a deadlock abort";
+  } catch (const SimAbort& err) {
+    EXPECT_EQ(err.kind(), AbortKind::kDeadlock);
+    EXPECT_EQ(err.stuck_tid(), 0);
+    EXPECT_EQ(err.failure_class(), FailureClass::kDeterministic);
+  }
+}
+
+TEST(Engine, StepBudgetTripsLivelockNamingTheStuckTask) {
+  // A livelocked schedule — a spinner polling a flag line that is never
+  // written — deadlock detection can't catch: there is always a runnable
+  // task. The step budget must stop it with the same stuck-task diagnostics
+  // the deadlock report carries (mirroring DeadlockDiagnosticNamesTheStuckTask).
+  Engine e(1);
+  WatchdogBudget wd;
+  wd.max_steps = 200;
+  e.set_watchdog(wd);
+  auto waiter = [&]() -> Task {
+    co_await Advance{17.0};
+    struct ParkForever {
+      Engine* e;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Task::Handle h) const {
+        e->park(55, h, [](Nanos) { return false; });
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await ParkForever{&e};  // tid 0: waits on a line no one writes
+  };
+  auto spinner = [&]() -> Task {
+    for (;;) co_await Advance{1.0};  // tid 1: polls forever
+  };
+  e.spawn(waiter());
+  e.spawn(spinner());
+  try {
+    e.run();
+    FAIL() << "expected the step budget to trip";
+  } catch (const SimAbort& err) {
+    EXPECT_EQ(err.kind(), AbortKind::kLivelock);
+    EXPECT_EQ(err.failure_class(), FailureClass::kTimeout);
+    EXPECT_GT(err.steps(), 200u);
+    // The longest-parked task is named, with its park age.
+    EXPECT_EQ(err.stuck_tid(), 0);
+    EXPECT_GT(err.stuck_park_age(), 0.0);
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("livelock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("step budget 200 exceeded"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("tid 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("parked at t=17"), std::string::npos) << msg;
+  }
+}
+
+TEST(Engine, ParkAgeBudgetTripsLivelock) {
+  Engine e(1);
+  WatchdogBudget wd;
+  wd.max_park_age_ns = 100.0;
+  e.set_watchdog(wd);
+  auto waiter = [&]() -> Task {
+    struct ParkForever {
+      Engine* e;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(Task::Handle h) const {
+        e->park(55, h, [](Nanos) { return false; });
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await ParkForever{&e};
+  };
+  auto spinner = [&]() -> Task {
+    for (;;) co_await Advance{1.0};
+  };
+  e.spawn(waiter());
+  e.spawn(spinner());
+  try {
+    e.run();
+    FAIL() << "expected the park-age budget to trip";
+  } catch (const SimAbort& err) {
+    EXPECT_EQ(err.kind(), AbortKind::kLivelock);
+    EXPECT_GT(err.stuck_park_age(), 100.0);
+  }
+}
+
+TEST(Engine, VirtualTimeBudgetTripsBudgetExceeded) {
+  Engine e(1);
+  WatchdogBudget wd;
+  wd.max_virtual_ns = 50.0;
+  e.set_watchdog(wd);
+  auto runner = [&]() -> Task {
+    for (;;) co_await Advance{5.0};
+  };
+  e.spawn(runner());
+  try {
+    e.run();
+    FAIL() << "expected the virtual-time budget to trip";
+  } catch (const SimAbort& err) {
+    EXPECT_EQ(err.kind(), AbortKind::kBudgetExceeded);
+    EXPECT_EQ(err.failure_class(), FailureClass::kTimeout);
+    EXPECT_GT(err.at(), 50.0);
+  }
+  // And it is still catchable as the historical CheckError.
+  Engine e2(1);
+  e2.set_watchdog(wd);
+  auto runner2 = [&]() -> Task {
+    for (;;) co_await Advance{5.0};
+  };
+  e2.spawn(runner2());
+  EXPECT_THROW(e2.run(), CheckError);
+}
+
+TEST(Engine, UnarmedWatchdogChangesNothing) {
+  // Default budgets (all zero) must leave a long run untouched.
+  Engine e(1);
+  EXPECT_FALSE(e.watchdog().armed());
+  int laps = 0;
+  auto runner = [&]() -> Task {
+    for (int i = 0; i < 5000; ++i) {
+      co_await Advance{1.0};
+      ++laps;
+    }
+  };
+  e.spawn(runner());
+  e.run();
+  EXPECT_EQ(laps, 5000);
+}
+
 TEST(Engine, BarrierMismatchIsDeadlock) {
   Engine e(1);
   auto a = [&]() -> Task { co_await SyncPoint{}; };

@@ -13,9 +13,11 @@
 #include "coll/harness.hpp"
 #include "exec/experiment.hpp"
 #include "exec/pool.hpp"
+#include "exec/recovery.hpp"
 #include "exec/seed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/engine.hpp"
 
 namespace capmem::exec {
 namespace {
@@ -87,6 +89,175 @@ TEST(RunJobs, RethrowsFirstExceptionBySubmissionOrder) {
     } catch (const std::runtime_error& e) {
       EXPECT_STREQ(e.what(), "first");
     }
+  }
+}
+
+TEST(RunJobsCollect, ReportsEveryFailureInSubmissionOrder) {
+  for (int workers : {1, 4}) {
+    std::vector<int> done(4, 0);
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back([&done] { done[0] = 1; });
+    jobs.push_back([] { throw std::runtime_error("first"); });
+    jobs.push_back([&done] { done[2] = 1; });
+    jobs.push_back([] { throw std::logic_error("second"); });
+    const auto errors = run_jobs_collect(std::move(jobs), workers);
+    // Every job ran — a throwing job no longer stops its siblings, even on
+    // the serial path.
+    EXPECT_EQ(done[0], 1);
+    EXPECT_EQ(done[2], 1);
+    ASSERT_EQ(errors.size(), 2u);
+    EXPECT_EQ(errors[0].job, 1u);
+    EXPECT_EQ(errors[1].job, 3u);
+    EXPECT_THROW(std::rethrow_exception(errors[0].error),
+                 std::runtime_error);
+    EXPECT_THROW(std::rethrow_exception(errors[1].error), std::logic_error);
+  }
+}
+
+TEST(RunJobs, FailureHandlerSeesEveryFailureWithoutRethrow) {
+  std::vector<std::size_t> seen;
+  auto previous = set_job_failure_handler(
+      [&seen](std::size_t job, std::exception_ptr) { seen.push_back(job); });
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([] { throw std::runtime_error("a"); });
+  jobs.push_back([] {});
+  jobs.push_back([] { throw std::runtime_error("b"); });
+  run_jobs(std::move(jobs), 4);  // must not throw: the handler absorbs
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 2}));
+  // Restore whatever was installed before (usually null).
+  set_job_failure_handler(std::move(previous));
+}
+
+TEST(RunJobsRecover, SiblingJobsSurviveADeadlockedSimulation) {
+  // Regression for the --jobs N hazard: one simulation deadlocking used to
+  // tear down the whole batch. Under recovery the deadlock is quarantined
+  // (deterministic — same seed deadlocks again) and every sibling completes.
+  for (int workers : {1, 4}) {
+    std::vector<int> done(6, 0);
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 6; ++i) {
+      if (i == 2) {
+        jobs.push_back([] {
+          sim::Engine e(1);
+          auto waiter = [&]() -> sim::Task {
+            struct ParkForever {
+              sim::Engine* e;
+              bool await_ready() const noexcept { return false; }
+              void await_suspend(sim::Task::Handle h) const {
+                e->park(9, h, [](Nanos) { return false; });
+              }
+              void await_resume() const noexcept {}
+            };
+            co_await ParkForever{&e};
+          };
+          e.spawn(waiter());
+          e.run();  // throws sim::SimAbort (deadlock)
+        });
+      } else {
+        jobs.push_back([&done, i] { done[static_cast<std::size_t>(i)] = 1; });
+      }
+    }
+    RecoveryOptions opts;
+    opts.retry.sleep = false;
+    const BatchReport rep = run_jobs_recover(std::move(jobs), workers, opts);
+    for (int i = 0; i < 6; ++i) {
+      if (i != 2) EXPECT_EQ(done[static_cast<std::size_t>(i)], 1) << i;
+    }
+    EXPECT_EQ(rep.jobs, 6u);
+    EXPECT_EQ(rep.ok, 5u);
+    EXPECT_EQ(rep.quarantined, 1u);
+    EXPECT_EQ(rep.retried, 0u);  // deterministic: retry would not help
+    ASSERT_EQ(rep.failures.size(), 1u);
+    EXPECT_EQ(rep.failures[0].job, 2u);
+    EXPECT_EQ(rep.failures[0].status, JobStatus::kQuarantined);
+    EXPECT_EQ(rep.failures[0].cls, FailureClass::kDeterministic);
+    EXPECT_EQ(rep.failures[0].attempts, 1);
+    EXPECT_NE(rep.failures[0].error.find("deadlock"), std::string::npos);
+  }
+}
+
+TEST(RunJobsRecover, RetryReinvokesTheSameJobWithTheSameSeed) {
+  // A transiently-failing job is re-invoked as the *same* functor: a job
+  // deriving its seed via derive_seed sees the identical seed on retry.
+  std::vector<std::uint64_t> seeds_seen;
+  int attempts = 0;
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([&seeds_seen, &attempts] {
+    seeds_seen.push_back(derive_seed(7, 2, 5));
+    if (++attempts == 1) {
+      throw std::system_error(
+          std::make_error_code(std::errc::resource_unavailable_try_again),
+          "flaky host");
+    }
+  });
+  RecoveryOptions opts;
+  opts.retry.sleep = false;
+  const BatchReport rep = run_jobs_recover(std::move(jobs), 1, opts);
+  EXPECT_TRUE(rep.all_ok());
+  EXPECT_EQ(rep.ok, 1u);
+  EXPECT_EQ(rep.retried, 1u);
+  ASSERT_EQ(seeds_seen.size(), 2u);
+  EXPECT_EQ(seeds_seen[0], derive_seed(7, 2, 5));
+  EXPECT_EQ(seeds_seen[0], seeds_seen[1]);
+}
+
+TEST(RunJobsRecover, SummaryIsByteIdenticalAcrossWorkerCounts) {
+  // One quarantine, one persistent transient failure, one timeout, five ok:
+  // the report (counts, order, text) must not depend on --jobs.
+  const auto run_batch = [](int workers) {
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 8; ++i) {
+      if (i == 2) {
+        jobs.push_back([] { throw std::logic_error("bad cell"); });
+      } else if (i == 5) {
+        jobs.push_back([] {
+          throw std::system_error(
+              std::make_error_code(
+                  std::errc::resource_unavailable_try_again),
+              "always flaky");
+        });
+      } else if (i == 6) {
+        jobs.push_back([] {
+          throw sim::SimAbort(sim::AbortKind::kLivelock,
+                              "step budget 10 exceeded", 1.0, 11, 0, 1.0);
+        });
+      } else {
+        jobs.push_back([] {});
+      }
+    }
+    RecoveryOptions opts;
+    opts.retry.sleep = false;
+    return run_jobs_recover(std::move(jobs), workers, opts);
+  };
+  const BatchReport serial = run_batch(1);
+  const BatchReport parallel = run_batch(8);
+  EXPECT_EQ(serial.summary(), parallel.summary());
+  EXPECT_EQ(serial.jobs, 8u);
+  EXPECT_EQ(serial.ok, 5u);
+  EXPECT_EQ(serial.quarantined, 1u);
+  EXPECT_EQ(serial.failed, 1u);
+  EXPECT_EQ(serial.timed_out, 1u);
+  EXPECT_EQ(serial.retried, 1u);  // only the transient job retried
+  ASSERT_EQ(serial.failures.size(), 3u);
+  EXPECT_EQ(serial.failures[0].job, 2u);
+  EXPECT_EQ(serial.failures[1].job, 5u);
+  EXPECT_EQ(serial.failures[1].attempts, 3);  // default max_attempts
+  EXPECT_EQ(serial.failures[2].job, 6u);
+  EXPECT_EQ(serial.failures[2].status, JobStatus::kTimedOut);
+}
+
+TEST(TryParallelMap, DeliversResultsAndReportTogether) {
+  const auto [results, rep] = try_parallel_map<int>(
+      10, 4, [](int i) {
+        if (i == 3) throw std::logic_error("cell 3 is cursed");
+        return i * i;
+      });
+  EXPECT_EQ(rep.ok, 9u);
+  EXPECT_EQ(rep.quarantined, 1u);
+  ASSERT_EQ(results.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    if (i == 3) continue;
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
   }
 }
 
