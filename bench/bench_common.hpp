@@ -22,6 +22,23 @@ inline void observe(obs::Session& s, sim::MachineConfig& cfg) {
   cfg.metrics = s.metrics();
 }
 
+/// Registers the --machine / --protocol flags and builds the requested
+/// MachineConfig. Defaults reproduce the historical single-machine
+/// behaviour (knl_38t, MESIF) byte-for-byte. Call between Cli construction
+/// and cli.finish().
+inline sim::MachineConfig machine_from_cli(
+    Cli& cli, sim::ClusterMode cluster,
+    sim::MemoryMode memory = sim::MemoryMode::kFlat) {
+  const std::string machine = cli.get_string(
+      "machine", "knl_38t",
+      "machine preset (knl_38t, tiny_8t, mini_16t, tall_24t, wide_64t)");
+  const std::string protocol = cli.get_string(
+      "protocol", "mesif", "coherence protocol (mesif, mesi, mosi)");
+  sim::MachineConfig cfg = sim::machine_preset(machine, cluster, memory);
+  cfg.protocol = sim::parse_protocol(protocol);
+  return cfg;
+}
+
 /// Prints a table twice: aligned text and CSV (separated by a marker).
 inline void emit(const Table& t) {
   t.print(std::cout);

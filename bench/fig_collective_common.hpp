@@ -28,11 +28,11 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
   const int max_threads = static_cast<int>(cli.get_int(
       "max-threads", 256,
       "largest thread count in the sweep (small traced runs: 16)"));
+  MachineConfig cfg = machine_from_cli(
+      cli, cluster_mode_from_string(mode_s), MemoryMode::kFlat);
   const int jobs = cli.get_jobs();
   cli.finish();
 
-  MachineConfig cfg =
-      knl7210(cluster_mode_from_string(mode_s), MemoryMode::kFlat);
   observe(obs, cfg);
   obs.set_config(std::string(cfg.name) + " " + to_string(cfg.cluster) + "/" +
                  to_string(cfg.memory));

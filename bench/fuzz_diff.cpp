@@ -1,6 +1,8 @@
 // Differential fuzzing harness: randomized workloads over every
 // cluster x memory configuration, each schedule cross-checked by the
-// capmem::check layer (SC oracle, MESIF invariant sweeps, inline shadow).
+// capmem::check layer (SC oracle, protocol invariant sweeps, inline
+// shadow). --machine / --protocol run the same sweep on any machine-factory
+// preset and coherence protocol (defaults: knl_38t, MESIF).
 //
 // One pass runs --seeds schedules per configuration (15 configurations:
 // 5 cluster modes x 3 memory modes), fanned out over --jobs host workers
@@ -114,6 +116,11 @@ int main(int argc, char** argv) {
       "max-steps", 0, "engine step budget per schedule (0 = unlimited)"));
   const int fault_severity = static_cast<int>(cli.get_int(
       "fault-severity", 0, "degraded-silicon severity 0-3 for every cell"));
+  const std::string machine_s = cli.get_string(
+      "machine", "knl_38t",
+      "machine preset every cell runs on (see machine_preset)");
+  const Protocol protocol = parse_protocol(cli.get_string(
+      "protocol", "mesif", "coherence protocol (mesif, mesi, mosi)"));
   const std::string checkpoint_path = cli.get_string(
       "checkpoint", "", "completed-cell ledger for resume ('' = off)");
   const std::string inject_abort = cli.get_string(
@@ -152,6 +159,8 @@ int main(int argc, char** argv) {
     spec.memory = cells[cell].memory;
     spec.max_steps = max_steps;
     spec.fault_severity = fault_severity;
+    spec.machine = machine_s;
+    spec.protocol = protocol;
     if (pass == 0 && static_cast<long>(cell) == inj_cell &&
         static_cast<long>(trial) == inj_trial) {
       spec.max_steps = static_cast<std::uint64_t>(inj_steps);

@@ -139,11 +139,12 @@ void build_mixed(Machine& m, int nthreads, int ops, std::uint64_t seed) {
 }
 
 CellResult run_cell(const CellSpec& spec, const Sizes& sz, int reps,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, Protocol protocol) {
   CellResult r;
   r.spec = spec;
   for (int rep = 0; rep < reps; ++rep) {
     MachineConfig cfg = knl7210(spec.mode, MemoryMode::kFlat);
+    cfg.protocol = protocol;
     Machine m(cfg);
     if (spec.workload == "barrier") {
       build_barrier(m, sz.barrier_threads, sz.barrier_iters);
@@ -211,6 +212,9 @@ int main(int argc, char** argv) {
   const std::string json_out = cli.get_string("json-out", "");
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 4242));
+  const Protocol protocol = parse_protocol(cli.get_string(
+      "protocol", "mesif",
+      "coherence protocol for every cell (mesif, mesi, mosi)"));
   cli.finish();
 
   const Sizes sz = quick ? quick_sizes() : full_sizes();
@@ -232,7 +236,7 @@ int main(int argc, char** argv) {
               "threads", "steps", "virt_ns", "events/sec", "ns/event");
   std::vector<CellResult> results;
   for (const CellSpec& spec : cells) {
-    const CellResult r = run_cell(spec, sz, reps, seed);
+    const CellResult r = run_cell(spec, sz, reps, seed, protocol);
     const double evs = r.best_wall_s > 0
                            ? static_cast<double>(r.steps) / r.best_wall_s
                            : 0.0;

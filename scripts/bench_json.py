@@ -4,8 +4,9 @@
 Two jobs, both driven from the perf_sim JSON dump (capmem.perf_sim.v1):
 
   * Emit: run perf_sim, optionally join a recorded baseline run, and write a
-    capmem.bench_pr4.v1 document (BENCH_PR4.json) with events/sec, ns/event,
-    wall time and peak RSS per cell plus per-cell speedup vs the baseline.
+    tracked document (BENCH_PR4.json, BENCH_PR6.json, ... — tag it with
+    --schema) with events/sec, ns/event, wall time and peak RSS per cell
+    plus per-cell speedup vs the baseline.
 
   * Check (--expect FILE): compare the DETERMINISTIC part of the fresh run —
     steps and virt_ns per (workload, mode) cell — against the cells recorded
@@ -117,6 +118,12 @@ def main():
         "match this run exactly; mismatch exits 2",
     )
     ap.add_argument(
+        "--schema",
+        default="capmem.bench_pr4.v1",
+        help="schema tag stamped on the emitted document (e.g. "
+        "capmem.bench_pr6.v1); checking ignores the tag",
+    )
+    ap.add_argument(
         "extra", nargs="*", help="extra perf_sim args after '--'"
     )
     args = ap.parse_args()
@@ -124,7 +131,7 @@ def main():
     run = run_perf_sim(args.perf_sim, args.quick, args.reps, args.extra)
     enrich(run.get("results", []))
     section = "quick_run" if args.quick else "run"
-    doc = {"schema": "capmem.bench_pr4.v1", section: run}
+    doc = {"schema": args.schema, section: run}
     if args.record_quick and not args.quick:
         quick_run = run_perf_sim(args.perf_sim, True, None, args.extra)
         enrich(quick_run.get("results", []))

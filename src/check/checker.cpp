@@ -12,7 +12,9 @@ Checker::Checker(const sim::MachineConfig& cfg)
     : Checker(cfg, Options{}) {}
 
 Checker::Checker(const sim::MachineConfig& cfg, Options opt)
-    : opt_(opt), invariants_(cfg.active_tiles, cfg.cores()) {}
+    : opt_(opt),
+      invariants_(cfg.active_tiles, cfg.cores(),
+                  sim::rules_of(cfg.protocol)) {}
 
 void Checker::absorb(std::vector<Violation>&& fresh) {
   for (Violation& v : fresh) {

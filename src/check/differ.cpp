@@ -115,6 +115,10 @@ std::string repro_text(const DiffOutcome& outcome) {
      << "  cluster=" << sim::to_string(s.cluster) << " memory="
      << sim::to_string(s.memory) << " sched=" << sim::to_string(s.sched)
      << '\n';
+  if (s.machine != "knl_38t" || s.protocol != sim::Protocol::kMesif) {
+    os << "  machine=" << s.machine << " protocol="
+       << sim::to_string(s.protocol) << '\n';
+  }
   if (s.max_steps != 0 || s.fault_severity != 0) {
     os << "  max_steps=" << s.max_steps
        << " fault_severity=" << s.fault_severity << '\n';

@@ -26,22 +26,41 @@ void InvariantChecker::check_entry(sim::Line line, const sim::LineEntry& e,
     add(out, line, "invariant: l1_mask has bits beyond the active cores");
 
   if (e.owner >= 0) {
-    // M/E: exactly one copy, held by the owner, no forwarder. "No line is
-    // dirty in two tiles" follows: dirty lives on the unique owner.
+    // Owned line: the owner holds a copy; unless the protocol shares dirty
+    // lines (MOSI's O), it holds the *only* copy. "No line is dirty in two
+    // tiles" follows: dirty lives on the unique owner.
     if (e.owner >= tiles_)
       add(out, line, "invariant: owner tile out of range");
-    if (std::popcount(e.l2_mask) != 1 || !e.present_in_tile(e.owner)) {
+    else if (!e.present_in_tile(e.owner)) {
+      add(out, line, "invariant: owner has no L2 copy of its line");
+    }
+    if (rules_->dirty_shared) {
+      // MOSI: extra copies are legal only on a dirty (O) line; a clean
+      // owned line is M/E bookkeeping the protocol does not have.
+      if (!e.dirty && std::popcount(e.l2_mask) != 1) {
+        std::ostringstream os;
+        os << "invariant: clean owned line has " << std::popcount(e.l2_mask)
+           << " L2 copies, mask=" << e.l2_mask << " owner=" << e.owner;
+        add(out, line, os.str());
+      }
+    } else if (std::popcount(e.l2_mask) != 1) {
       std::ostringstream os;
       os << "invariant: owned (" << (e.dirty ? "M" : "E")
          << ") line must have exactly the owner's L2 copy, mask="
          << e.l2_mask << " owner=" << e.owner;
       add(out, line, os.str());
     }
+    if (!rules_->has_exclusive && !e.dirty)
+      add(out, line,
+          "invariant: protocol has no E state, yet a clean line is owned");
     if (e.forward != -1)
       add(out, line, "invariant: owned line has a forwarder");
   } else {
     if (e.dirty)
       add(out, line, "invariant: dirty line without an owner");
+    if (!rules_->has_forward && e.forward != -1)
+      add(out, line,
+          "invariant: protocol has no F state, yet a forwarder is set");
     if (e.forward >= 0) {
       // F implies at least one sharer — the forwarder itself.
       if (e.forward >= tiles_ || !e.present_in_tile(e.forward))

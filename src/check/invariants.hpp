@@ -1,4 +1,4 @@
-// MESIF global invariant checking against the live machine state.
+// Coherence global invariant checking against the live machine state.
 //
 // Directory::check_entry validates an entry in isolation; this module
 // validates the entry *against the machine*: the directory's sharer sets
@@ -9,6 +9,10 @@
 // line). The cross-structure checks are what catch bugs the entry-local
 // ones cannot: a stale L2 tag the directory forgot, or an L1 copy in a
 // tile with no L2 backing.
+//
+// The entry-local legality rules are protocol-parametric: the checker is
+// built with the machine's ProtocolRules table, so MOSI's dirty-shared
+// lines are legal there while MESI's phantom forwarders are not.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "check/violation.hpp"
+#include "sim/protocol.hpp"
 
 namespace capmem::sim {
 class MemSystem;
@@ -27,12 +32,19 @@ namespace capmem::check {
 class InvariantChecker {
  public:
   /// `tiles` / `cores` are the machine's active tile and core counts.
-  InvariantChecker(int tiles, int cores) : tiles_(tiles), cores_(cores) {}
+  /// Defaults to the MESIF legality table.
+  InvariantChecker(int tiles, int cores)
+      : InvariantChecker(tiles, cores,
+                         sim::rules_of(sim::Protocol::kMesif)) {}
+  InvariantChecker(int tiles, int cores, const sim::ProtocolRules& rules)
+      : tiles_(tiles), cores_(cores), rules_(&rules) {}
 
-  /// Entry-local MESIF invariants plus the residency cross-check for one
-  /// line: M/E single owner, dirty implies owner, F implies a sharer,
-  /// directory sharer set == actual L2 residency, L1 bits == actual L1
-  /// residency and included in the holder tile's L2 set.
+  /// Entry-local protocol invariants plus the residency cross-check for one
+  /// line: single owner (sole copy unless the protocol shares dirty lines),
+  /// dirty implies owner, F implies a sharer (and forbidden entirely when
+  /// the protocol has no F), directory sharer set == actual L2 residency,
+  /// L1 bits == actual L1 residency and included in the holder tile's L2
+  /// set.
   void check_entry(sim::Line line, const sim::LineEntry& e,
                    const sim::MemSystem& mem,
                    std::vector<Violation>& out) const;
@@ -49,6 +61,7 @@ class InvariantChecker {
  private:
   int tiles_;
   int cores_;
+  const sim::ProtocolRules* rules_;
   std::unordered_map<std::uint64_t, int> homes_;  // line -> home tile
 };
 

@@ -1,5 +1,6 @@
 #include "check/workload.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -30,6 +31,9 @@ std::string WorkloadSpec::label() const {
   os << " seed" << seed;
   if (max_steps != 0) os << " steps<=" << max_steps;
   if (fault_severity != 0) os << " fault" << fault_severity;
+  if (machine != "knl_38t" || protocol != sim::Protocol::kMesif) {
+    os << ' ' << machine << '/' << sim::to_string(protocol);
+  }
   return os.str();
 }
 
@@ -78,10 +82,19 @@ std::vector<std::vector<Op>> generate_ops(const WorkloadSpec& spec) {
 }
 
 sim::MachineConfig workload_config(const WorkloadSpec& spec) {
-  sim::MachineConfig cfg = sim::knl7210(spec.cluster, spec.memory);
+  sim::MachineConfig cfg =
+      sim::machine_preset(spec.machine, spec.cluster, spec.memory);
+  cfg.protocol = spec.protocol;
   // Cache/hybrid runs shrink the memory-side tag array to a footprint the
-  // fuzz working set actually exercises (same scaling as test_fuzz).
-  if (spec.memory != sim::MemoryMode::kFlat) cfg.scale_memory(256);
+  // fuzz working set actually exercises (same scaling as test_fuzz). Small
+  // presets carry less memory than KNL: clamp so the scaled capacities stay
+  // at least a MiB per kind.
+  if (spec.memory != sim::MemoryMode::kFlat) {
+    const std::uint64_t max_scale =
+        std::min(cfg.dram_bytes, cfg.mcdram_bytes) / MiB(1);
+    const std::uint64_t scale = std::min<std::uint64_t>(256, max_scale);
+    if (scale > 1) cfg.scale_memory(scale);
+  }
   cfg.seed = spec.seed;
   return cfg;
 }

@@ -41,6 +41,11 @@ struct WorkloadSpec {
   sim::ClusterMode cluster = sim::ClusterMode::kQuadrant;
   sim::MemoryMode memory = sim::MemoryMode::kFlat;
   sim::Schedule sched = sim::Schedule::kScatter;
+  /// Coherence protocol and machine preset the workload runs on. The
+  /// defaults reproduce the historical fuzz transcripts byte-for-byte;
+  /// label() mentions either only when it differs from the default.
+  sim::Protocol protocol = sim::Protocol::kMesif;
+  std::string machine = "knl_38t";
   /// Engine step budget (0 = unlimited): trips the watchdog with a
   /// sim::SimAbort instead of letting a pathological schedule run away.
   std::uint64_t max_steps = 0;
@@ -49,7 +54,8 @@ struct WorkloadSpec {
   int fault_severity = 0;
 
   /// "quad/flat t10 ops160 seed42", with "[:N]" appended under a prefix
-  /// and " steps<=N" / " faultN" when those knobs are set.
+  /// and " steps<=N" / " faultN" / " <machine>/<protocol>" when those
+  /// knobs are set to non-default values.
   std::string label() const;
 };
 

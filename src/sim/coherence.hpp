@@ -1,15 +1,19 @@
-// MESIF directory state (paper §II.A: the CHAs form a distributed tag
-// directory keeping the per-tile L2s coherent with a MESIF protocol).
+// Directory coherence state (paper §II.A: the CHAs form a distributed tag
+// directory keeping the per-tile L2s coherent — with MESIF on KNL, or with
+// the MESI/MOSI variants selected through sim/protocol.hpp).
 //
 // State is tracked at tile granularity, matching the paper's benchmarks: the
 // unit of coherence is an L2 line in some tile, plus L1 presence bits per
-// core. The classic five states map onto this record as:
+// core. The classic states map onto this record as:
 //   M/E — `owner` tile set, `dirty` distinguishes M from E
+//   O   — `owner` set and dirty with other sharers in `l2_mask` (MOSI only)
 //   S   — no owner; one or more tiles in `l2_mask`
-//   F   — the designated forwarder among the sharers (`forward`)
+//   F   — the designated forwarder among the sharers (`forward`, MESIF only)
 //   I   — no record / empty masks
 // Transitions are performed by the memory system; this module owns storage,
-// queries and invariant checking.
+// queries and invariant checking. Which shapes are legal depends on the
+// protocol's ProtocolRules table; the rules-free overloads check the
+// default MESIF table.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +23,20 @@
 #include "sim/address.hpp"
 #include "sim/line_table.hpp"
 #include "sim/mem_map.hpp"
+#include "sim/protocol.hpp"
 
 namespace capmem::sim {
 
 /// Observable state of a line within one tile's L2 (the states the paper's
-/// cache-to-cache benchmarks prepare and measure).
-enum class TileState { kI, kS, kE, kM, kF };
+/// cache-to-cache benchmarks prepare and measure, plus MOSI's O).
+enum class TileState { kI, kS, kE, kM, kF, kO };
+
+// The sharer/presence bitmaps below are single 64-bit words; every machine
+// shape is capped at kMaxCoherenceTiles tiles (and 64 cores) and
+// MachineConfig::validate enforces it before a Topology is ever built.
+static_assert(sizeof(std::uint64_t) * 8 == kMaxCoherenceTiles,
+              "LineEntry::l2_mask/l1_mask width must match the configured "
+              "coherence-tile limit");
 
 const char* to_string(TileState s);
 
@@ -82,13 +94,21 @@ class Directory {
   /// Same given an already looked-up entry.
   static TileState state_in_tile(const LineEntry& e, int tile);
 
+  /// Legal-state table the instance checks against (defaults to MESIF).
+  /// MemSystem sets it from MachineConfig::protocol at construction.
+  void set_rules(const ProtocolRules& rules) { rules_ = &rules; }
+  const ProtocolRules& rules() const { return *rules_; }
+
   /// Protocol invariants; cheap enough to run after every transition.
-  /// Throws CheckError on violation.
+  /// Throws CheckError on violation. The rules-free overloads check this
+  /// instance's table (static check_entry: the MESIF default).
   void check_invariants(Line line) const;
   static void check_entry(const LineEntry& e);
+  static void check_entry(const LineEntry& e, const ProtocolRules& rules);
   /// Sweeps every tracked line (test helper).
   void check_all() const {
-    map_.for_each([](Line, const LineEntry& e) { check_entry(e); });
+    const ProtocolRules& r = *rules_;
+    map_.for_each([&r](Line, const LineEntry& e) { check_entry(e, r); });
   }
 
   /// Visits every tracked (line, entry); order unspecified. Used by the
@@ -110,6 +130,7 @@ class Directory {
   LineTable<LineEntry> map_;
   Line last_line_ = ~0ull;
   LineEntry* last_entry_ = nullptr;
+  const ProtocolRules* rules_ = &rules_of(Protocol::kMesif);
 };
 
 }  // namespace capmem::sim

@@ -14,6 +14,7 @@
 
 #include "common/units.hpp"
 #include "sim/abort.hpp"
+#include "sim/protocol.hpp"
 
 namespace capmem::obs {
 class TraceSink;
@@ -36,6 +37,19 @@ enum class MemoryMode { kFlat, kCache, kHybrid };
 
 /// Physical memory technologies.
 enum class MemKind { kDDR, kMCDRAM };
+
+/// Where the machine factory places the IMC/EDC mesh stops.
+///  - kEdges: KNL's floorplan — IMCs mid-height on the left/right die
+///    edges, EDCs in the corners (paper Fig. 2b).
+///  - kSpread: stops distributed evenly along the top/bottom rows, for
+///    synthetic machines whose meshes are too wide or too flat for the
+///    corner layout to make sense.
+enum class StopPlacement { kEdges, kSpread };
+
+/// Coherence masks (LineEntry::l2_mask / l1_mask) are single 64-bit words,
+/// capping both active tiles and cores at 64. MachineConfig::validate
+/// rejects shapes beyond it; coherence.hpp static_asserts the mask width.
+inline constexpr int kMaxCoherenceTiles = 64;
 
 const char* to_string(ClusterMode m);
 const char* to_string(MemoryMode m);
@@ -153,6 +167,10 @@ struct MachineConfig {
   std::string name = "knl7210";
   ClusterMode cluster = ClusterMode::kQuadrant;
   MemoryMode memory = MemoryMode::kFlat;
+  /// Directory coherence protocol the memory system runs. The transition
+  /// pipeline is instantiated per protocol at MemSystem construction
+  /// (sim/protocol.hpp); MESIF is the calibrated KNL default.
+  Protocol protocol = Protocol::kMesif;
 
   // --- topology ---
   int mesh_rows = 6;
@@ -161,6 +179,12 @@ struct MachineConfig {
   int active_tiles = 32;     ///< 7210: 64 cores = 32 tiles enabled
   int cores_per_tile = 2;
   int threads_per_core = 4;
+  /// IMC/EDC mesh-stop layout (machine factory knob).
+  StopPlacement stop_placement = StopPlacement::kEdges;
+  /// Opaque directory (Kommrusch et al.): home CHAs hash over *all* active
+  /// tiles regardless of cluster mode, hiding the domain affinity the
+  /// cluster modes normally give the directory.
+  bool opaque_directory = false;
 
   // --- caches ---
   std::uint64_t l1_bytes = 32 * 1024;  ///< per core, 8-way
@@ -236,5 +260,20 @@ MachineConfig knl7210(ClusterMode cluster = ClusterMode::kQuadrant,
 /// Small machine for unit tests (4x3 mesh, 8 tiles, scaled memory).
 MachineConfig tiny_machine(ClusterMode cluster = ClusterMode::kQuadrant,
                            MemoryMode memory = MemoryMode::kFlat);
+
+/// Machine factory: named presets spanning the synthetic-machine family the
+/// methodology is exercised on (à la Graphite's string-keyed factories).
+///   knl_38t / knl7210 — the paper's Xeon Phi 7210 (the calibrated default)
+///   tiny_8t  / tiny   — the unit-test machine above
+///   mini_16t — 4x5 mesh, 16 tiles / 32 cores, slow narrow DDR
+///   tall_24t — 8x4 mesh, 24 tiles / 48 cores, long skinny die
+///   wide_64t — 4x17 mesh, 64 single-core tiles, the coherence-mask limit
+/// Throws CheckError (listing the known names) for anything else.
+MachineConfig machine_preset(const std::string& name,
+                             ClusterMode cluster = ClusterMode::kQuadrant,
+                             MemoryMode memory = MemoryMode::kFlat);
+
+/// Canonical preset names accepted by machine_preset, default first.
+std::vector<std::string> machine_preset_names();
 
 }  // namespace capmem::sim

@@ -71,6 +71,12 @@ MemTarget MemMap::target(Line line, const Placement& place) const {
 
 int MemMap::home_tile(Line line, Coord mem_stop) const {
   const std::uint64_t h = mix(line ^ 0xabcdef1234567ull);
+  // Opaque directory: the home CHA hashes over every active tile no matter
+  // the cluster mode, hiding the domain affinity below. (Also the fallback
+  // for degenerate meshes where a grid domain holds no tiles.)
+  if (cfg_->opaque_directory) {
+    return static_cast<int>(h % static_cast<unsigned>(topo_->active_tiles()));
+  }
   switch (cfg_->cluster) {
     case ClusterMode::kA2A: {
       return static_cast<int>(
@@ -84,14 +90,20 @@ int MemMap::home_tile(Line line, Coord mem_stop) const {
       const int dom = (mem_stop.col >= (cfg_->mesh_cols + 1) / 2 ? 2 : 0) +
                       (mem_stop.row >= (cfg_->mesh_rows + 1) / 2 ? 1 : 0);
       const auto& tiles = topo_->tiles_in_domain(ClusterMode::kSNC4, dom);
-      CAPMEM_CHECK(!tiles.empty());
+      if (tiles.empty()) {
+        return static_cast<int>(
+            h % static_cast<unsigned>(topo_->active_tiles()));
+      }
       return tiles[h % tiles.size()];
     }
     case ClusterMode::kHemisphere:
     case ClusterMode::kSNC2: {
       const int dom = mem_stop.col >= (cfg_->mesh_cols + 1) / 2 ? 1 : 0;
       const auto& tiles = topo_->tiles_in_domain(ClusterMode::kSNC2, dom);
-      CAPMEM_CHECK(!tiles.empty());
+      if (tiles.empty()) {
+        return static_cast<int>(
+            h % static_cast<unsigned>(topo_->active_tiles()));
+      }
       return tiles[h % tiles.size()];
     }
   }

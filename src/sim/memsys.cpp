@@ -7,6 +7,47 @@
 
 namespace capmem::sim {
 
+namespace {
+
+// Compile-time protocol policies. The transition pipeline (access_impl_p)
+// is one template over these; the variant points are `if constexpr` on the
+// flags, so each instantiation is a straight-line protocol with no runtime
+// protocol branches. MESIF compiles to the exact pre-refactor code (same
+// statements, same RNG-draw order), preserving byte-identical transcripts.
+struct MesifPolicy {
+  static constexpr Protocol kProtocol = Protocol::kMesif;
+  static constexpr bool kHasForward = true;    // F among the sharers
+  static constexpr bool kHasExclusive = true;  // clean sole copy installs E
+  static constexpr bool kDirtyShared = false;  // owned => only cached copy
+};
+
+struct MesiPolicy {
+  static constexpr Protocol kProtocol = Protocol::kMesi;
+  static constexpr bool kHasForward = false;  // shared reads go to memory
+  static constexpr bool kHasExclusive = true;
+  static constexpr bool kDirtyShared = false;
+};
+
+struct MosiPolicy {
+  static constexpr Protocol kProtocol = Protocol::kMosi;
+  static constexpr bool kHasForward = false;
+  static constexpr bool kHasExclusive = false;  // read misses install S
+  static constexpr bool kDirtyShared = true;    // O: dirty owner + sharers
+};
+
+// Per-transition directory check against the policy's legal-state table.
+// MESIF keeps the original single-table fast path.
+template <class P>
+inline void check_entry_p(const LineEntry& e) {
+  if constexpr (P::kProtocol == Protocol::kMesif) {
+    Directory::check_entry(e);
+  } else {
+    Directory::check_entry(e, rules_of(P::kProtocol));
+  }
+}
+
+}  // namespace
+
 const char* to_string(Level level) {
   switch (level) {
     case Level::kL1: return "L1";
@@ -38,6 +79,8 @@ MemSystem::MemSystem(const MachineConfig& cfg, const Topology& topo, Rng& rng)
       mcdram_(cfg.mcdram_controllers, cfg.bw.mcdram_channel_gbps,
               cfg.bw.channel_queue_lines * kLineBytes /
                   cfg.bw.mcdram_channel_gbps) {
+  protocol_ = cfg.protocol;
+  dir_.set_rules(rules_of(cfg.protocol));
   for (int c = 0; c < cfg.cores(); ++c)
     l1_.emplace_back(cfg.l1_bytes, cfg.l1_ways);
   for (int t = 0; t < cfg.active_tiles; ++t)
@@ -122,6 +165,8 @@ Nanos MemSystem::remote_transfer_cost(TileState owner_state, int legs) {
   const auto& lt = cfg_->lat;
   double state_adder = lt.remote_state_sf;
   if (owner_state == TileState::kM) state_adder = lt.remote_state_m;
+  // MOSI's O serves like M: the owner holds the only up-to-date (dirty) copy.
+  if (owner_state == TileState::kO) state_adder = lt.remote_state_m;
   if (owner_state == TileState::kE) state_adder = lt.remote_state_e;
   return jitter(lt.remote_base + state_adder + lt.hop * legs);
 }
@@ -149,8 +194,10 @@ Nanos MemSystem::stream_issue_cost(Level level, TileState prior,
     case Level::kL2Tile: {
       // Calibrated so a copy pair (read + local write) lands at the Table I
       // intra-tile copy bandwidths: E ~9.2 GB/s, M ~7.5 GB/s.
-      const double base = prior == TileState::kM ? bw.tile_copy_line_m - 2.0
-                                                 : bw.tile_copy_line_e - 2.0;
+      const double base =
+          prior == TileState::kM || prior == TileState::kO
+              ? bw.tile_copy_line_m - 2.0
+              : bw.tile_copy_line_e - 2.0;
       return opts.vector ? base : base * 1.5;
     }
     case Level::kRemoteL2: {
@@ -523,6 +570,24 @@ void MemSystem::note_coherence(int tid, int core, int tile, Line line,
 AccessResult MemSystem::access_impl(int tid, int core, Line line,
                                     const Placement& place, AccessType type,
                                     const AccessOpts& opts, Nanos now) {
+  switch (protocol_) {
+    case Protocol::kMesi:
+      return access_impl_p<MesiPolicy>(tid, core, line, place, type, opts,
+                                       now);
+    case Protocol::kMosi:
+      return access_impl_p<MosiPolicy>(tid, core, line, place, type, opts,
+                                       now);
+    case Protocol::kMesif:
+      break;
+  }
+  return access_impl_p<MesifPolicy>(tid, core, line, place, type, opts, now);
+}
+
+template <class Policy>
+AccessResult MemSystem::access_impl_p(int tid, int core, Line line,
+                                      const Placement& place, AccessType type,
+                                      const AccessOpts& opts, Nanos now) {
+  using P = Policy;
   CAPMEM_DCHECK(core >= 0 && core < cfg_->cores());
   CAPMEM_DCHECK(tid >= 0 && tid < static_cast<int>(counters_.size()));
   auto& ctr = counters_[static_cast<std::size_t>(tid)];
@@ -586,7 +651,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
         std::max({now + jitter(issue, false), core_done, channel_done});
     e.version++;
     e.last_write_visible = res.finish;
-    Directory::check_entry(e);
+    check_entry_p<P>(e);
     note_transition(line, e);
     return res;
   }
@@ -622,7 +687,8 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
         res.finish =
             std::max(now + jitter(cost, false), core_issue(core, now, cost));
       } else {
-        cost = res.prior == TileState::kM   ? lt.l2_tile_m
+        cost = res.prior == TileState::kM || res.prior == TileState::kO
+                   ? lt.l2_tile_m
                : res.prior == TileState::kE ? lt.l2_tile_e
                                             : lt.l2_tile_sf;
         // Reading another core's modified tile line forces the write-back
@@ -630,7 +696,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
         res.finish = std::max(now + jitter(cost), core_issue(core, now, 1.0));
       }
       l1_insert(core, line, e);
-      Directory::check_entry(e);
+      check_entry_p<P>(e);
       note_transition(line, e);
       return res;
     }
@@ -662,16 +728,26 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     }
 
     if (e.owner >= 0 && e.owner != tile) {
-      // Remote M/E: cache-to-cache transfer.
+      // Remote owned copy (M/E, or M/O under MOSI): cache-to-cache transfer.
+      if constexpr (P::kDirtyShared) {
+        res.prior = Directory::state_in_tile(e, e.owner);
+      } else {
+        res.prior = e.dirty ? TileState::kM : TileState::kE;
+      }
       ctr.remote_hits++;
       res.level = Level::kRemoteL2;
-      res.prior = e.dirty ? TileState::kM : TileState::kE;
       const int legs = mesh_legs_tiles(tile, target.home_tile, e.owner);
       if (obs_on_) {
         note_hops(tid, core, legs, now);
-        // The old owner is downgraded to a shared copy (MESIF read c2c).
-        note_coherence(tid, core, e.owner, line, res.prior, TileState::kS,
-                       svc_start, "downgrade");
+        if constexpr (P::kDirtyShared) {
+          // MOSI: the owner keeps the dirty line and moves to O.
+          note_coherence(tid, core, e.owner, line, res.prior, TileState::kO,
+                         svc_start, "share");
+        } else {
+          // The old owner is downgraded to a shared copy (MESIF read c2c).
+          note_coherence(tid, core, e.owner, line, res.prior, TileState::kS,
+                         svc_start, "downgrade");
+        }
       }
       Nanos cost;
       if (opts.streaming) {
@@ -688,24 +764,41 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
         res.finish +=
             fault_path_penalty(tid, now, tile, target.home_tile, e.owner);
       }
-      if (e.dirty) {
-        // Downgrade write-back (MESIF: dirty owner -> S, memory updated).
-        ctr.writebacks++;
-        if (mc_cache_.enabled()) {
-          mc_cache_.write_back(line);
-        } else if (target.kind == MemKind::kMCDRAM) {
-          mcdram_.transfer(target.channel, now,
+      if constexpr (P::kDirtyShared) {
+        // MOSI: the owner keeps its dirty copy and stays responsible for it
+        // (M -> O once the requester's copy lands); no write-back, memory
+        // stays stale until the owner is invalidated or evicted.
+        if (mutation::is(mutation::Kind::kMosiLostOwner)) {
+          // Fault injection (mutation-smoke builds only): the O-state
+          // bookkeeping "loses" the owner while the line stays dirty.
+          e.owner = -1;
+        }
+      } else {
+        if (e.dirty) {
+          // Downgrade write-back (dirty owner -> S, memory updated).
+          ctr.writebacks++;
+          if (mc_cache_.enabled()) {
+            mc_cache_.write_back(line);
+          } else if (target.kind == MemKind::kMCDRAM) {
+            mcdram_.transfer(target.channel, now,
+                             static_cast<double>(kLineBytes));
+          } else {
+            dram_.transfer(target.channel, now,
                            static_cast<double>(kLineBytes));
-        } else {
-          dram_.transfer(target.channel, now,
-                         static_cast<double>(kLineBytes));
+          }
+        }
+        e.owner = -1;
+        e.dirty = false;
+        if constexpr (P::kHasForward) {
+          e.forward = tile;  // newest requester holds F (MESIF)
+        } else if (mutation::is(mutation::Kind::kMesiPhantomForwarder)) {
+          // Fault injection (mutation-smoke builds only): a c2c read
+          // designates the requester as forwarder — a state MESI lacks.
+          e.forward = tile;
         }
       }
-      e.owner = -1;
-      e.dirty = false;
-      e.forward = tile;  // newest requester holds F (MESIF)
       fill_caches(core, tile, line, e);
-      Directory::check_entry(e);
+      check_entry_p<P>(e);
       note_transition(line, e);
       return res;
     }
@@ -713,55 +806,69 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     if (e.l2_mask != 0) {
       // Shared: served by the forwarder if one exists, else by memory.
       res.prior = e.forward >= 0 ? TileState::kF : TileState::kS;
-      if (e.forward >= 0) {
-        ctr.remote_hits++;
-        res.level = Level::kRemoteL2;
-        const int legs = mesh_legs_tiles(tile, target.home_tile, e.forward);
-        if (obs_on_) note_hops(tid, core, legs, now);
-        Nanos cost;
-        if (opts.streaming) {
-          cost = stream_issue_cost(Level::kRemoteL2, res.prior, type, opts);
-          res.finish = std::max(svc_start + jitter(cost, false),
-                                core_issue(core, now, cost));
-        } else {
-          cost = remote_transfer_cost(res.prior, legs);
-          res.finish =
-              std::max(svc_start + cost, core_issue(core, now, 1.0));
-        }
-        res.finish = std::max(res.finish, l2_supply(e.forward, svc_start));
-        if (!fault_mesh_.empty()) {
-          res.finish += fault_path_penalty(tid, now, tile, target.home_tile,
+      if constexpr (P::kHasForward) {
+        if (e.forward >= 0) {
+          ctr.remote_hits++;
+          res.level = Level::kRemoteL2;
+          const int legs = mesh_legs_tiles(tile, target.home_tile,
                                            e.forward);
+          if (obs_on_) note_hops(tid, core, legs, now);
+          Nanos cost;
+          if (opts.streaming) {
+            cost = stream_issue_cost(Level::kRemoteL2, res.prior, type,
+                                     opts);
+            res.finish = std::max(svc_start + jitter(cost, false),
+                                  core_issue(core, now, cost));
+          } else {
+            cost = remote_transfer_cost(res.prior, legs);
+            res.finish =
+                std::max(svc_start + cost, core_issue(core, now, 1.0));
+          }
+          res.finish = std::max(res.finish, l2_supply(e.forward, svc_start));
+          if (!fault_mesh_.empty()) {
+            res.finish += fault_path_penalty(tid, now, tile,
+                                             target.home_tile, e.forward);
+          }
+          e.forward = tile;  // F migrates to the newest requester
+          fill_caches(core, tile, line, e);
+          check_entry_p<P>(e);
+          note_transition(line, e);
+          return res;
         }
-        e.forward = tile;  // F migrates to the newest requester
-        fill_caches(core, tile, line, e);
-        Directory::check_entry(e);
-        note_transition(line, e);
-        return res;
       }
-      // Silent sharers only: memory supplies the data.
+      // Silent sharers only (every shared read without a forwarder state):
+      // memory supplies the data.
       res = memory_access(tid, core, line, target, type, opts,
                           std::max(now, svc_start), tile);
-      e.forward = tile;
+      if constexpr (P::kHasForward) e.forward = tile;
       fill_caches(core, tile, line, e);
-      Directory::check_entry(e);
+      check_entry_p<P>(e);
       note_transition(line, e);
       return res;
     }
 
-    // Globally invalid: fetch from memory, install Exclusive.
+    // Globally invalid: fetch from memory. Protocols with E install the
+    // sole clean copy as Exclusive; MOSI installs plain Shared.
     res = memory_access(tid, core, line, target, type, opts,
                         std::max(now, svc_start), tile);
-    e.owner = tile;
-    e.dirty = false;
+    if constexpr (P::kHasExclusive) {
+      e.owner = tile;
+      e.dirty = false;
+    }
     fill_caches(core, tile, line, e);
-    Directory::check_entry(e);
+    check_entry_p<P>(e);
     note_transition(line, e);
     return res;
   }
 
   // --- write path ---
-  if (e.owner == tile && l2_hit) {
+  bool silent_upgrade = e.owner == tile && l2_hit;
+  if constexpr (P::kDirtyShared) {
+    // MOSI: an O owner with other sharers must still run the invalidation
+    // round through the home CHA; only a sole-copy owner upgrades silently.
+    silent_upgrade = silent_upgrade && (e.l2_mask & (e.l2_mask - 1)) == 0;
+  }
+  if (silent_upgrade) {
     // We own the line: silent upgrade M, drop other-core L1 copies in tile.
     res.level = l1_hit ? Level::kL1 : Level::kL2Tile;
     res.prior = e.dirty ? TileState::kM : TileState::kE;
@@ -791,7 +898,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
     l1_insert(core, line, e);
     if (!mutation::is(mutation::Kind::kSkipVersionBump)) e.version++;
     e.last_write_visible = res.finish;
-    Directory::check_entry(e);
+    check_entry_p<P>(e);
     note_transition(line, e);
     return res;
   }
@@ -824,7 +931,11 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
   if (e.owner >= 0 && e.owner != tile) {
     ctr.remote_hits++;
     res.level = Level::kRemoteL2;
-    res.prior = e.dirty ? TileState::kM : TileState::kE;
+    if constexpr (P::kDirtyShared) {
+      res.prior = Directory::state_in_tile(e, e.owner);
+    } else {
+      res.prior = e.dirty ? TileState::kM : TileState::kE;
+    }
     const int legs = mesh_legs_tiles(tile, target.home_tile, e.owner);
     if (obs_on_) note_hops(tid, core, legs, now);
     const int src = e.owner;
@@ -842,8 +953,12 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
       res.finish += fault_path_penalty(tid, now, tile, target.home_tile, src);
     }
     invalidate_others(e, line, tile, tid, now);
-  } else if (e.l2_mask != 0 && !(e.owner == tile)) {
-    // Upgrade from shared: invalidation round via the home CHA.
+  } else if (e.l2_mask != 0 &&
+             (!(e.owner == tile) ||
+              (P::kDirtyShared && (e.l2_mask & (e.l2_mask - 1)) != 0))) {
+    // Upgrade from shared: invalidation round via the home CHA. Under MOSI
+    // this includes the O owner itself writing while other tiles share the
+    // line — the sharers are invalidated but no memory fetch is needed.
     res.level = Level::kRemoteL2;
     res.prior = e.present_in_tile(tile)
                     ? Directory::state_in_tile(e, tile)
@@ -889,7 +1004,7 @@ AccessResult MemSystem::access_impl(int tid, int core, Line line,
   }
   e.version++;
   e.last_write_visible = res.finish;
-  Directory::check_entry(e);
+  check_entry_p<P>(e);
   note_transition(line, e);
   return res;
 }

@@ -156,9 +156,18 @@ class MemSystem {
   int mesh_legs_tiles(int req_tile, int home_tile, int owner_tile) const;
 
   Nanos remote_transfer_cost(TileState owner_state, int legs);
+  /// Protocol dispatch: one switch on the construction-time protocol_, into
+  /// the per-policy instantiation below. The policies are compile-time
+  /// structs private to memsys.cpp, so every protocol-variant point is an
+  /// `if constexpr` and the hot path stays devirtualized — the MESIF
+  /// instantiation is the exact pre-refactor transition code.
   AccessResult access_impl(int tid, int core, Line line,
                            const Placement& place, AccessType type,
                            const AccessOpts& opts, Nanos now);
+  template <class Policy>
+  AccessResult access_impl_p(int tid, int core, Line line,
+                             const Placement& place, AccessType type,
+                             const AccessOpts& opts, Nanos now);
   AccessResult memory_access(int tid, int core, Line line,
                              const MemTarget& target, AccessType type,
                              const AccessOpts& opts, Nanos now,
@@ -205,6 +214,7 @@ class MemSystem {
   const MachineConfig* cfg_;
   const Topology* topo_;
   Rng* rng_;
+  Protocol protocol_ = Protocol::kMesif;
   MemMap map_;
   Directory dir_;
   McdramCache mc_cache_;

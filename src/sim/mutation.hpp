@@ -21,6 +21,14 @@ enum class Kind {
   /// victim tile's L2 copy resident (a stale-line coherence bug: only the
   /// cross-structure residency sweep can notice).
   kStaleL2Copy,
+  /// MESI only: a read served cache-to-cache designates the requester as a
+  /// forwarder — a state MESI does not have. Caught by the protocol's
+  /// legal-state table (has_forward = false) on the very transition.
+  kMesiPhantomForwarder,
+  /// MOSI only: a read from a modified line drops the owner while leaving
+  /// the line dirty — the O-state bookkeeping "loses" the owner, so the
+  /// dirty-implies-owner rule trips on the very transition.
+  kMosiLostOwner,
 };
 
 #ifdef CAPMEM_MUTATION_SMOKE

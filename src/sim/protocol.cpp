@@ -1,0 +1,39 @@
+#include "sim/protocol.hpp"
+
+#include "common/check.hpp"
+
+namespace capmem::sim {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kMesif: return "mesif";
+    case Protocol::kMesi: return "mesi";
+    case Protocol::kMosi: return "mosi";
+  }
+  return "?";
+}
+
+Protocol parse_protocol(const std::string& s) {
+  for (Protocol p : all_protocols())
+    if (s == to_string(p)) return p;
+  CAPMEM_CHECK_MSG(false, "unknown protocol '" << s
+                          << "' (expected mesif, mesi or mosi)");
+}
+
+std::vector<Protocol> all_protocols() {
+  return {Protocol::kMesif, Protocol::kMesi, Protocol::kMosi};
+}
+
+const ProtocolRules& rules_of(Protocol p) {
+  static const ProtocolRules mesif{Protocol::kMesif, true, true, false};
+  static const ProtocolRules mesi{Protocol::kMesi, false, true, false};
+  static const ProtocolRules mosi{Protocol::kMosi, false, false, true};
+  switch (p) {
+    case Protocol::kMesif: return mesif;
+    case Protocol::kMesi: return mesi;
+    case Protocol::kMosi: return mosi;
+  }
+  return mesif;
+}
+
+}  // namespace capmem::sim

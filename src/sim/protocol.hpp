@@ -1,0 +1,53 @@
+// Coherence-protocol selection and legal-state tables.
+//
+// The simulator's directory pipeline (sim/memsys.cpp) is one template whose
+// protocol-variant points are gated by a compile-time policy, instantiated
+// once per Protocol and dispatched at MemSystem construction — the hot path
+// stays devirtualized and the default MESIF instantiation is textually the
+// pre-refactor code. Everything *outside* the hot path (the check layer,
+// Directory::check_all, CLI parsing) consumes the runtime ProtocolRules
+// table below, following Graphite's createMMU protocol-string factory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace capmem::sim {
+
+/// Directory coherence protocols the transition pipeline can run.
+///  - kMesif: KNL's tile-granularity MESIF (the calibrated default).
+///  - kMesi:  MESIF minus the forwarder — shared lines are served by
+///            memory, never by a peer cache in S.
+///  - kMosi:  owned-dirty-sharing — a dirty line may have sharers while
+///            the owner (O state) holds the only up-to-date copy; reads
+///            from a modified line do not write back to memory.
+enum class Protocol { kMesif, kMesi, kMosi };
+
+const char* to_string(Protocol p);
+
+/// Factory from a CLI string ("mesif" | "mesi" | "mosi"); throws CheckError
+/// with the known names on anything else.
+Protocol parse_protocol(const std::string& s);
+
+/// All protocols, default (MESIF) first.
+std::vector<Protocol> all_protocols();
+
+/// Legal-state table: which directory-entry shapes a protocol may produce.
+/// Consumed by Directory::check_entry / InvariantChecker so the check layer
+/// is protocol-parametric without knowing transition internals.
+struct ProtocolRules {
+  Protocol protocol = Protocol::kMesif;
+  /// A forwarder (LineEntry::forward >= 0) may exist on unowned lines.
+  bool has_forward = true;
+  /// A clean owned line (E state) is legal. Without it, owners are always
+  /// dirty and a clean sole copy degrades to S.
+  bool has_exclusive = true;
+  /// A dirty line may have sharers besides the owner (O state). Without it,
+  /// an owned line must be the only cached copy.
+  bool dirty_shared = false;
+};
+
+/// The legal-state table for `p` (static storage; valid forever).
+const ProtocolRules& rules_of(Protocol p);
+
+}  // namespace capmem::sim

@@ -31,19 +31,33 @@ Topology::Topology(const MachineConfig& cfg)
       num_imcs_(cfg.dram_controllers) {
   cfg.validate();
 
-  // Memory stops: IMCs sit mid-height on the left/right die edges, EDCs in
-  // the corners (paper Fig. 2b). They occupy conceptual stops and do not
+  // Memory stops. kEdges is KNL's floorplan: IMCs sit mid-height on the
+  // left/right die edges, EDCs in the corners (paper Fig. 2b). kSpread
+  // distributes IMCs along the middle row and EDCs alternating between the
+  // top and bottom rows, for synthetic meshes whose aspect ratio makes the
+  // corner layout meaningless. Stops occupy conceptual positions and do not
   // consume tile slots in this model.
-  for (int i = 0; i < num_imcs_; ++i) {
-    imc_pos_.push_back(Coord{rows_ / 2, i % 2 == 0 ? 0 : cols_ - 1});
-  }
-  for (int e = 0; e < num_edcs_; ++e) {
-    const int corner = e % 4;
-    const int row = corner < 2 ? 0 : rows_ - 1;
-    int col = corner % 2 == 0 ? 0 : cols_ - 1;
-    if (e >= 4) col = std::clamp(col + (corner % 2 == 0 ? 1 : -1), 0,
-                                 cols_ - 1);
-    edc_pos_.push_back(Coord{row, col});
+  if (cfg.stop_placement == StopPlacement::kEdges) {
+    for (int i = 0; i < num_imcs_; ++i) {
+      imc_pos_.push_back(Coord{rows_ / 2, i % 2 == 0 ? 0 : cols_ - 1});
+    }
+    for (int e = 0; e < num_edcs_; ++e) {
+      const int corner = e % 4;
+      const int row = corner < 2 ? 0 : rows_ - 1;
+      int col = corner % 2 == 0 ? 0 : cols_ - 1;
+      if (e >= 4) col = std::clamp(col + (corner % 2 == 0 ? 1 : -1), 0,
+                                   cols_ - 1);
+      edc_pos_.push_back(Coord{row, col});
+    }
+  } else {
+    for (int i = 0; i < num_imcs_; ++i) {
+      imc_pos_.push_back(
+          Coord{rows_ / 2, (2 * i + 1) * cols_ / (2 * num_imcs_)});
+    }
+    for (int e = 0; e < num_edcs_; ++e) {
+      edc_pos_.push_back(Coord{e % 2 == 0 ? 0 : rows_ - 1,
+                               (2 * e + 1) * cols_ / (2 * num_edcs_)});
+    }
   }
 
   // Enumerate all grid slots per quadrant, then pick `physical_tiles` of
@@ -75,17 +89,32 @@ Topology::Topology(const MachineConfig& cfg)
 
   const int target = cfg.active_tiles / 4;
   std::uint64_t h = mix(cfg.seed + 0x7031);
-  for (auto& q : by_quad) {
-    CAPMEM_CHECK_MSG(static_cast<int>(q.size()) >= target,
-                     "cannot balance quadrants: a quadrant has only "
-                         << q.size() << " physical tiles, need " << target);
-    while (static_cast<int>(q.size()) > target) {
+  bool balanced = true;
+  for (const auto& q : by_quad)
+    if (static_cast<int>(q.size()) < target) balanced = false;
+  if (balanced) {
+    for (auto& q : by_quad) {
+      while (static_cast<int>(q.size()) > target) {
+        h = mix(h);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(h % q.size()));
+      }
+    }
+    for (const auto& q : by_quad)
+      for (const Coord& s : q) tile_pos_.push_back(s);
+  } else {
+    // Degenerate meshes (e.g. a single row, where two quadrants are empty)
+    // cannot expose balanced SNC4 domains; disable the yield victims
+    // seed-randomly across the whole part instead. Real presets never take
+    // this path — validate() guarantees the counts, and their grids give
+    // every quadrant at least `target` slots.
+    for (const auto& q : by_quad)
+      for (const Coord& s : q) tile_pos_.push_back(s);
+    while (static_cast<int>(tile_pos_.size()) > cfg.active_tiles) {
       h = mix(h);
-      q.erase(q.begin() + static_cast<std::ptrdiff_t>(h % q.size()));
+      tile_pos_.erase(tile_pos_.begin() +
+                      static_cast<std::ptrdiff_t>(h % tile_pos_.size()));
     }
   }
-  for (const auto& q : by_quad)
-    for (const Coord& s : q) tile_pos_.push_back(s);
   // Logical order must not leak position: shuffle deterministically.
   Rng rng(cfg.seed + 0x1109);
   for (std::size_t i = tile_pos_.size(); i > 1; --i) {

@@ -63,6 +63,27 @@ TEST(MemMap, QuadrantHomesResideInMemoryStopQuadrant) {
   }
 }
 
+TEST(MemMap, OpaqueDirectoryHidesDomainAffinity) {
+  // Kommrusch-style opaque directory: home CHAs hash over every active
+  // tile even in quadrant mode, so homes must spread across all tiles and
+  // escape the memory stop's quadrant for some lines.
+  MachineConfig cfg = knl7210(ClusterMode::kQuadrant, MemoryMode::kFlat);
+  cfg.opaque_directory = true;
+  Ctx2 c(std::move(cfg));
+  std::map<int, int> homes;
+  bool escaped = false;
+  for (Line l = 0; l < 32000; ++l) {
+    const MemTarget t = c.map.target(l, {MemKind::kMCDRAM, std::nullopt});
+    homes[t.home_tile]++;
+    const int stop_dom =
+        (t.mem_stop.col >= (c.cfg.mesh_cols + 1) / 2 ? 2 : 0) +
+        (t.mem_stop.row >= (c.cfg.mesh_rows + 1) / 2 ? 1 : 0);
+    if (c.topo.quadrant_of_tile(t.home_tile) != stop_dom) escaped = true;
+  }
+  EXPECT_EQ(static_cast<int>(homes.size()), c.cfg.active_tiles);
+  EXPECT_TRUE(escaped);
+}
+
 TEST(MemMap, Snc4DomainPlacementUsesClosestImcChannels) {
   Ctx2 c(knl7210(ClusterMode::kSNC4, MemoryMode::kFlat));
   const int per = c.cfg.dram_channels_per_controller;

@@ -129,5 +129,56 @@ TEST(Mutation, DiffHarnessCatchesStaleCopyFault) {
   EXPECT_GT(out.violations, 0u);
 }
 
+// --- protocol-specific injections (one illegal transition per protocol)
+// ---
+//
+// Each fault corrupts a transition only its protocol performs, immediately
+// before the per-transition legal-state check, so the check must throw on
+// that very transition — and runs under any *other* protocol must stay
+// clean, proving the rules tables are selective rather than merely strict.
+
+WorkloadSpec protocol_spec(sim::Protocol p) {
+  WorkloadSpec spec;
+  spec.threads = 8;
+  spec.ops_per_thread = 120;
+  spec.seed = 13;
+  spec.protocol = p;
+  return spec;
+}
+
+TEST(Mutation, RulesCatchMesiPhantomForwarder) {
+  MutationGuard guard(Kind::kMesiPhantomForwarder);
+  const DiffOutcome out = run_diff(protocol_spec(sim::Protocol::kMesi));
+  EXPECT_FALSE(out.ok);
+  // The table check throws on the corrupting transition itself, so the
+  // report carries the simulator abort, not a downstream value diff.
+  EXPECT_NE(out.report.find("simulator threw"), std::string::npos)
+      << out.report;
+}
+
+TEST(Mutation, PhantomForwarderInvisibleUnderMesif) {
+  // MESIF legitimately designates forwarders, so the injection predicate
+  // never fires on the MESIF instantiation of the transition.
+  MutationGuard guard(Kind::kMesiPhantomForwarder);
+  const DiffOutcome out = run_diff(protocol_spec(sim::Protocol::kMesif));
+  EXPECT_TRUE(out.ok) << out.report;
+}
+
+TEST(Mutation, RulesCatchMosiLostOwner) {
+  MutationGuard guard(Kind::kMosiLostOwner);
+  const DiffOutcome out = run_diff(protocol_spec(sim::Protocol::kMosi));
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.report.find("simulator threw"), std::string::npos)
+      << out.report;
+}
+
+TEST(Mutation, LostOwnerInvisibleUnderMesif) {
+  // MESIF write-backs and downgrades on the same transition, so there is
+  // no dirty-shared bookkeeping for the fault to corrupt.
+  MutationGuard guard(Kind::kMosiLostOwner);
+  const DiffOutcome out = run_diff(protocol_spec(sim::Protocol::kMesif));
+  EXPECT_TRUE(out.ok) << out.report;
+}
+
 }  // namespace
 }  // namespace capmem::check

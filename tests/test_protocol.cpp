@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/coherence.hpp"
+#include "sim/machine.hpp"
+#include "sim/protocol.hpp"
+
+namespace capmem::sim {
+namespace {
+
+TEST(Protocol, NamesRoundTrip) {
+  for (Protocol p : all_protocols()) {
+    EXPECT_EQ(parse_protocol(to_string(p)), p);
+  }
+  EXPECT_THROW(parse_protocol("moesi"), CheckError);
+  EXPECT_THROW(parse_protocol(""), CheckError);
+}
+
+TEST(Protocol, DefaultIsMesif) {
+  EXPECT_EQ(all_protocols().front(), Protocol::kMesif);
+  EXPECT_EQ(MachineConfig{}.protocol, Protocol::kMesif);
+}
+
+TEST(Protocol, RulesTables) {
+  const ProtocolRules& mesif = rules_of(Protocol::kMesif);
+  EXPECT_TRUE(mesif.has_forward);
+  EXPECT_TRUE(mesif.has_exclusive);
+  EXPECT_FALSE(mesif.dirty_shared);
+
+  const ProtocolRules& mesi = rules_of(Protocol::kMesi);
+  EXPECT_FALSE(mesi.has_forward);
+  EXPECT_TRUE(mesi.has_exclusive);
+  EXPECT_FALSE(mesi.dirty_shared);
+
+  const ProtocolRules& mosi = rules_of(Protocol::kMosi);
+  EXPECT_FALSE(mosi.has_forward);
+  EXPECT_FALSE(mosi.has_exclusive);
+  EXPECT_TRUE(mosi.dirty_shared);
+}
+
+TEST(Protocol, RulesAreStable) {
+  // rules_of returns long-lived references the Directory may hold.
+  EXPECT_EQ(&rules_of(Protocol::kMosi), &rules_of(Protocol::kMosi));
+}
+
+LineEntry dirty_shared_entry() {
+  LineEntry e;
+  e.owner = 2;
+  e.dirty = true;
+  e.l2_mask = (1ull << 2) | (1ull << 5);  // owner + one sharer
+  return e;
+}
+
+TEST(Protocol, MosiPermitsDirtySharing) {
+  const LineEntry e = dirty_shared_entry();
+  EXPECT_NO_THROW(Directory::check_entry(e, rules_of(Protocol::kMosi)));
+  // The same entry is illegal under the single-copy-ownership protocols.
+  EXPECT_THROW(Directory::check_entry(e), CheckError);
+  EXPECT_THROW(Directory::check_entry(e, rules_of(Protocol::kMesi)),
+               CheckError);
+}
+
+TEST(Protocol, MesiForbidsForwarder) {
+  LineEntry e;
+  e.l2_mask = 1ull << 3;
+  e.forward = 3;
+  EXPECT_NO_THROW(Directory::check_entry(e));  // legal F under MESIF
+  EXPECT_THROW(Directory::check_entry(e, rules_of(Protocol::kMesi)),
+               CheckError);
+  EXPECT_THROW(Directory::check_entry(e, rules_of(Protocol::kMosi)),
+               CheckError);
+}
+
+TEST(Protocol, MosiForbidsCleanOwnership) {
+  LineEntry e;
+  e.owner = 1;
+  e.dirty = false;  // E-state bookkeeping MOSI does not have
+  e.l2_mask = 1ull << 1;
+  EXPECT_NO_THROW(Directory::check_entry(e));
+  EXPECT_THROW(Directory::check_entry(e, rules_of(Protocol::kMosi)),
+               CheckError);
+}
+
+TEST(Protocol, StateInTileReportsOwned) {
+  const LineEntry e = dirty_shared_entry();
+  EXPECT_EQ(Directory::state_in_tile(e, 2), TileState::kO);
+  EXPECT_EQ(Directory::state_in_tile(e, 5), TileState::kS);
+  LineEntry sole = e;
+  sole.l2_mask = 1ull << 2;
+  EXPECT_EQ(Directory::state_in_tile(sole, 2), TileState::kM);
+}
+
+// Shared-read pattern under every protocol: writer makes the line dirty,
+// two remote readers pull it, writer reclaims it. Runs on the tiny preset
+// with the per-transition table check live on every transition.
+void run_share_pattern(Protocol p) {
+  MachineConfig cfg = machine_preset("tiny_8t");
+  cfg.protocol = p;
+  Machine m(cfg);
+  const Addr a = m.alloc("x", kLineBytes, {}, true);
+  const auto slots = make_schedule(cfg, Schedule::kScatter, 3);
+  m.add_thread(slots[0], [&](Ctx& ctx) -> Task {
+    co_await ctx.write_u64(a, 41);
+    co_await ctx.compute(4000.0);
+    co_await ctx.write_u64(a, 42);
+  });
+  for (int r = 1; r <= 2; ++r) {
+    m.add_thread(slots[static_cast<std::size_t>(r)],
+                 [&, r](Ctx& ctx) -> Task {
+      co_await ctx.compute(500.0 * r);
+      co_await ctx.read_u64(a);
+      co_await ctx.read_u64(a);
+    });
+  }
+  m.run();
+  m.memsys().directory().check_all();
+  EXPECT_EQ(m.space().load<std::uint64_t>(a), 42u);
+}
+
+TEST(Protocol, SharePatternLegalUnderEveryProtocol) {
+  for (Protocol p : all_protocols()) {
+    SCOPED_TRACE(to_string(p));
+    run_share_pattern(p);
+  }
+}
+
+// MOSI semantics: a read from a remote modified line leaves the owner
+// intact (O) with the requester as sharer, and no write-back happens.
+TEST(Protocol, MosiReadKeepsDirtyOwner) {
+  MachineConfig cfg = machine_preset("tiny_8t");
+  cfg.protocol = Protocol::kMosi;
+  Machine m(cfg);
+  const Addr a = m.alloc("x", kLineBytes, {}, true);
+  const auto slots = make_schedule(cfg, Schedule::kScatter, 2);
+  int writer_tile = -1;
+  m.add_thread(slots[0], [&](Ctx& ctx) -> Task {
+    writer_tile = ctx.machine().memsys().tile_of_core(slots[0].core);
+    co_await ctx.write_u64(a, 9);
+  });
+  m.add_thread(slots[1], [&](Ctx& ctx) -> Task {
+    co_await ctx.compute(800.0);
+    co_await ctx.read_u64(a);
+  });
+  m.run();
+  const Line line = line_of(a);
+  const LineEntry* e = m.memsys().directory().find(line);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, writer_tile);
+  EXPECT_TRUE(e->dirty);
+  EXPECT_EQ(e->forward, -1);
+  EXPECT_EQ(Directory::state_in_tile(*e, writer_tile), TileState::kO);
+  std::uint64_t writebacks = 0;
+  for (int t = 0; t < 2; ++t) writebacks += m.memsys().counters(t).writebacks;
+  EXPECT_EQ(writebacks, 0u);
+}
+
+// MESIF semantics on the same pattern: the owner is downgraded, the dirty
+// data written back, and the requester becomes the forwarder.
+TEST(Protocol, MesifReadDowngradesOwner) {
+  MachineConfig cfg = machine_preset("tiny_8t");
+  Machine m(cfg);
+  const Addr a = m.alloc("x", kLineBytes, {}, true);
+  const auto slots = make_schedule(cfg, Schedule::kScatter, 2);
+  int reader_tile = -1;
+  m.add_thread(slots[0], [&](Ctx& ctx) -> Task {
+    co_await ctx.write_u64(a, 9);
+  });
+  m.add_thread(slots[1], [&](Ctx& ctx) -> Task {
+    reader_tile = ctx.machine().memsys().tile_of_core(slots[1].core);
+    co_await ctx.compute(800.0);
+    co_await ctx.read_u64(a);
+  });
+  m.run();
+  const LineEntry* e = m.memsys().directory().find(line_of(a));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, -1);
+  EXPECT_FALSE(e->dirty);
+  EXPECT_EQ(e->forward, reader_tile);
+}
+
+// MESI semantics: same downgrade and write-back as MESIF, but nobody
+// becomes a forwarder — the next shared read is served by memory.
+TEST(Protocol, MesiReadLeavesNoForwarder) {
+  MachineConfig cfg = machine_preset("tiny_8t");
+  cfg.protocol = Protocol::kMesi;
+  Machine m(cfg);
+  const Addr a = m.alloc("x", kLineBytes, {}, true);
+  const auto slots = make_schedule(cfg, Schedule::kScatter, 2);
+  m.add_thread(slots[0], [&](Ctx& ctx) -> Task {
+    co_await ctx.write_u64(a, 9);
+  });
+  m.add_thread(slots[1], [&](Ctx& ctx) -> Task {
+    co_await ctx.compute(800.0);
+    co_await ctx.read_u64(a);
+  });
+  m.run();
+  const LineEntry* e = m.memsys().directory().find(line_of(a));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, -1);
+  EXPECT_EQ(e->forward, -1);
+}
+
+// MOSI installs plain Shared on a cold read miss (no E state), so a
+// subsequent write from the same tile still runs the upgrade round.
+TEST(Protocol, MosiColdReadInstallsShared) {
+  MachineConfig cfg = machine_preset("tiny_8t");
+  cfg.protocol = Protocol::kMosi;
+  Machine m(cfg);
+  const Addr a = m.alloc("x", kLineBytes, {}, true);
+  const auto slots = make_schedule(cfg, Schedule::kScatter, 1);
+  m.add_thread(slots[0], [&](Ctx& ctx) -> Task {
+    co_await ctx.read_u64(a);
+  });
+  m.run();
+  const LineEntry* e = m.memsys().directory().find(line_of(a));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, -1);
+  EXPECT_NE(e->l2_mask, 0u);
+}
+
+}  // namespace
+}  // namespace capmem::sim

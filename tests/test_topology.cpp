@@ -137,5 +137,99 @@ TEST(Topology, TileOfCoreMapping) {
   EXPECT_EQ(t.first_core_of_tile(5), 10);
 }
 
+// --- machine-factory meshes (non-6x7 geometries) ---
+
+// Every cluster mode's domains must partition the active tiles exactly
+// once, and every memory-stop query must stay in range, no matter the
+// mesh's aspect ratio.
+void check_mesh_invariants(const MachineConfig& cfg) {
+  Topology t(cfg);
+  EXPECT_EQ(t.active_tiles(), cfg.active_tiles);
+  std::set<std::pair<int, int>> seen;
+  for (int i = 0; i < t.active_tiles(); ++i) {
+    const Coord c = t.tile_coord(i);
+    EXPECT_GE(c.row, 0);
+    EXPECT_LT(c.row, cfg.mesh_rows);
+    EXPECT_GE(c.col, 0);
+    EXPECT_LT(c.col, cfg.mesh_cols);
+    EXPECT_TRUE(seen.insert({c.row, c.col}).second);
+  }
+  for (ClusterMode mode : all_cluster_modes()) {
+    int total = 0;
+    std::set<int> covered;
+    for (int d = 0; d < Topology::domains(mode); ++d) {
+      for (int tile : t.tiles_in_domain(mode, d)) {
+        EXPECT_EQ(t.domain_of_tile(tile, mode), d);
+        EXPECT_TRUE(covered.insert(tile).second);
+        ++total;
+      }
+      EXPECT_FALSE(t.edcs_of_domain(mode, d).empty());
+      for (int e : t.edcs_of_domain(mode, d)) {
+        EXPECT_GE(e, 0);
+        EXPECT_LT(e, cfg.mcdram_controllers);
+      }
+    }
+    EXPECT_EQ(total, t.active_tiles());
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_GE(t.closest_imc(q), 0);
+    EXPECT_LT(t.closest_imc(q), cfg.dram_controllers);
+  }
+  for (int i = 0; i < cfg.dram_controllers; ++i) {
+    const Coord c = t.imc_coord(i);
+    EXPECT_GE(c.row, 0);
+    EXPECT_LT(c.row, cfg.mesh_rows);
+    EXPECT_GE(c.col, 0);
+    EXPECT_LT(c.col, cfg.mesh_cols);
+  }
+  for (int e = 0; e < cfg.mcdram_controllers; ++e) {
+    const Coord c = t.edc_coord(e);
+    EXPECT_GE(c.row, 0);
+    EXPECT_LT(c.row, cfg.mesh_rows);
+    EXPECT_GE(c.col, 0);
+    EXPECT_LT(c.col, cfg.mesh_cols);
+  }
+}
+
+TEST(Topology, TallMeshPreset) { check_mesh_invariants(machine_preset("tall_24t")); }
+
+TEST(Topology, MiniMeshPreset) { check_mesh_invariants(machine_preset("mini_16t")); }
+
+TEST(Topology, WideMeshAtTileLimit) {
+  const MachineConfig cfg = machine_preset("wide_64t");
+  EXPECT_EQ(cfg.active_tiles, kMaxCoherenceTiles);
+  check_mesh_invariants(cfg);
+}
+
+TEST(Topology, SingleRowDegenerateMesh) {
+  // A 1-row mesh leaves two grid quadrants empty; the fallback disables
+  // yield victims across the whole part instead of per quadrant, and the
+  // domain partition must still cover every tile exactly once.
+  MachineConfig cfg = tiny_machine();
+  cfg.mesh_rows = 1;
+  cfg.mesh_cols = 12;
+  cfg.physical_tiles = 10;
+  cfg.active_tiles = 8;
+  check_mesh_invariants(cfg);
+}
+
+TEST(Topology, SpreadPlacementDistributesStops) {
+  const MachineConfig cfg = machine_preset("wide_64t");
+  ASSERT_EQ(cfg.stop_placement, StopPlacement::kSpread);
+  Topology t(cfg);
+  // IMCs sit mid-height at distinct columns; EDCs alternate between the
+  // top and bottom rows.
+  std::set<int> imc_cols;
+  for (int i = 0; i < cfg.dram_controllers; ++i) {
+    EXPECT_EQ(t.imc_coord(i).row, cfg.mesh_rows / 2);
+    imc_cols.insert(t.imc_coord(i).col);
+  }
+  EXPECT_EQ(static_cast<int>(imc_cols.size()), cfg.dram_controllers);
+  for (int e = 0; e < cfg.mcdram_controllers; ++e) {
+    const int row = t.edc_coord(e).row;
+    EXPECT_TRUE(row == 0 || row == cfg.mesh_rows - 1);
+  }
+}
+
 }  // namespace
 }  // namespace capmem::sim
