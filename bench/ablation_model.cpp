@@ -7,9 +7,18 @@
 //  (b) Fixed-shape baselines: measured cost of classic tree shapes
 //      (flat, binary, binomial-ish via fanout-(k) regular trees) vs the
 //      model-tuned tree.
+//  (c) --attr-report: model-vs-attribution cross-validation. For each of
+//      the 15 cluster x memory configurations, fit the capability model,
+//      run a mixed coherence workload with the attribution ledger
+//      attached, and compare each fitted latency constant against the
+//      measured mean attributed time of the access category it predicts.
+//      Rows whose relative disagreement exceeds --band are flagged (the
+//      workload is contended, so measured means sit above the uncontended
+//      constants; the report is diagnostic, not a gate).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "check/workload.hpp"
 #include "coll/harness.hpp"
 #include "coll/runtime.hpp"
 #include "coll/tuned.hpp"
@@ -61,7 +70,77 @@ int main(int argc, char** argv) {
   const int fit_iters = static_cast<int>(cli.get_int("fit_iters", 21));
   const int iters = static_cast<int>(cli.get_int("iters", 51));
   const int nthreads = static_cast<int>(cli.get_int("threads", 64));
+  const bool attr_report = cli.get_flag(
+      "attr-report", false,
+      "cross-validate fitted constants against measured attribution over "
+      "all cluster x memory configurations (skips the ablation tables)");
+  const double band = cli.get_double(
+      "band", 0.5, "relative disagreement flagged in --attr-report");
   cli.finish();
+
+  if (attr_report) {
+    obs.set_config("attr-report all-modes");
+    obs.phase("attr-report");
+    Table tr("Model vs attribution — fitted constants vs measured means");
+    tr.set_header({"config", "term", "fitted ns", "measured ns", "samples",
+                   "ratio", "verdict"});
+    int flagged = 0;
+    for (ClusterMode cm : all_cluster_modes()) {
+      for (MemoryMode mm :
+           {MemoryMode::kFlat, MemoryMode::kCache, MemoryMode::kHybrid}) {
+        const std::string config_name =
+            std::string(to_string(cm)) + "/" + to_string(mm);
+        MachineConfig ccfg = knl7210(cm, mm);
+        bench::SuiteOptions cso;
+        cso.run.iters = fit_iters;
+        const CapabilityModel cmodel = fit_cache_model(ccfg, cso);
+
+        obs::attr::Sink sink;
+        using obs::attr::TimeCat;
+        sink.add_crossval("r_local", cmodel.r_local, TimeCat::kL1);
+        sink.add_crossval("r_l2", cmodel.r_l2, TimeCat::kL2Tile);
+        sink.add_crossval("r_remote", cmodel.r_remote, TimeCat::kRemoteL2);
+        if (mm == MemoryMode::kFlat) {
+          sink.add_crossval("r_mem_dram", cmodel.r_mem_dram, TimeCat::kDram);
+          sink.add_crossval("r_mem_mcdram", cmodel.r_mem_mcdram,
+                            TimeCat::kMcdram);
+        } else {
+          // Cache and hybrid modes route DDR behind the MCDRAM cache: the
+          // memory constants predict the hit and miss categories instead.
+          sink.add_crossval("r_mem_mcdram", cmodel.r_mem_mcdram,
+                            TimeCat::kMcCacheHit);
+          sink.add_crossval("r_mem_dram", cmodel.r_mem_dram,
+                            TimeCat::kMcCacheMiss);
+        }
+
+        check::WorkloadSpec spec;
+        spec.threads = nthreads <= 10 ? nthreads : 10;
+        spec.cluster = cm;
+        spec.memory = mm;
+        check::run_workload(spec, nullptr, nullptr, &sink);
+
+        for (const obs::attr::Sink::CrossRow& row : sink.crossval()) {
+          if (row.samples == 0 || row.fitted_ns <= 0) {
+            tr.add_row({config_name, row.term, fmt_num(row.fitted_ns, 1),
+                        "-", "0", "-", "n/a"});
+            continue;
+          }
+          const double ratio = row.measured_ns / row.fitted_ns;
+          const bool out = ratio < 1.0 - band || ratio > 1.0 + band;
+          if (out) ++flagged;
+          tr.add_row({config_name, row.term, fmt_num(row.fitted_ns, 1),
+                      fmt_num(row.measured_ns, 1),
+                      std::to_string(row.samples), fmt_num(ratio, 2),
+                      out ? "FLAG" : "ok"});
+        }
+      }
+    }
+    benchbin::emit(tr);
+    std::cout << "attr-report: " << flagged << " term(s) beyond +/-"
+              << fmt_num(band * 100, 0) << "% band\n";
+    obs.finish();
+    return 0;
+  }
 
   MachineConfig cfg = knl7210(ClusterMode::kSNC4, MemoryMode::kFlat);
   benchbin::observe(obs, cfg);

@@ -15,11 +15,31 @@
 namespace capmem::benchbin {
 
 /// Attaches an obs::Session's sinks to a machine config: every Machine the
-/// harness builds from `cfg` then traces into --trace-out and aggregates
-/// into --metrics-out. A no-op (null hooks) when the flags weren't given.
+/// harness builds from `cfg` then traces into --trace-out, aggregates into
+/// --metrics-out, and merges its attribution ledger into --attr-out. A
+/// no-op (null hooks) when the flags weren't given.
 inline void observe(obs::Session& s, sim::MachineConfig& cfg) {
   cfg.trace = s.trace();
   cfg.metrics = s.metrics();
+  cfg.attr = s.attr();
+}
+
+/// Registers the fitted capability constants of `p` with the attribution
+/// sink's cross-validation section: each latency term is checked against
+/// the measured mean time of the access category it predicts. No-op
+/// without --attr-out.
+inline void crossval_model(obs::Session& s, const sim::LatencyParams& lat) {
+  obs::attr::Sink* sink = s.attr();
+  if (sink == nullptr) return;
+  sink->add_crossval("r_local(l1_hit)", lat.l1_hit, obs::attr::TimeCat::kL1);
+  sink->add_crossval("r_l2(l2_tile_e)", lat.l2_tile_e,
+                     obs::attr::TimeCat::kL2Tile);
+  sink->add_crossval("r_remote(remote_base)", lat.remote_base,
+                     obs::attr::TimeCat::kRemoteL2);
+  sink->add_crossval("r_mem_dram(dram_service)", lat.dram_service,
+                     obs::attr::TimeCat::kDram);
+  sink->add_crossval("r_mem_mcdram(mcdram_service)", lat.mcdram_service,
+                     obs::attr::TimeCat::kMcdram);
 }
 
 /// Registers the --machine / --protocol flags and builds the requested

@@ -5,10 +5,12 @@
 #pragma once
 
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "coll/harness.hpp"
 #include "common/ascii_plot.hpp"
+#include "exec/progress.hpp"
 #include "model/fit.hpp"
 
 namespace capmem::benchbin {
@@ -31,9 +33,21 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
   MachineConfig cfg = machine_from_cli(
       cli, cluster_mode_from_string(mode_s), MemoryMode::kFlat);
   const int jobs = cli.get_jobs();
+  const bool progress = cli.get_flag(
+      "progress", false,
+      "heartbeat line on stderr while the sweep batches run");
   cli.finish();
 
+  // Batches are dispatched sweep by sweep, so the meter runs in
+  // indeterminate mode: a growing completed-count rather than an ETA.
+  std::unique_ptr<exec::ProgressMeter> meter;
+  if (progress) {
+    meter = std::make_unique<exec::ProgressMeter>(figure_name);
+    exec::set_progress_meter(meter.get());
+  }
+
   observe(obs, cfg);
+  crossval_model(obs, cfg.lat);
   obs.set_config(std::string(cfg.name) + " " + to_string(cfg.cluster) + "/" +
                  to_string(cfg.memory));
   obs.set_seed(cfg.seed);
@@ -130,6 +144,8 @@ inline int run_collective_figure(int argc, char** argv, coll::Algo tuned,
                 << "x over MPI\n";
     }
   }
+  exec::set_progress_meter(nullptr);
+  meter.reset();
   std::cout << paper_ref << "\n";
   obs.finish();
   return 0;

@@ -30,6 +30,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <tuple>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "bench_common.hpp"
 #include "check/differ.hpp"
 #include "exec/experiment.hpp"
+#include "exec/progress.hpp"
 #include "exec/seed.hpp"
 
 using namespace capmem;
@@ -130,6 +132,9 @@ int main(int argc, char** argv) {
       "quarantine-out", "fuzz_quarantine.txt",
       "partial-results summary file (written when cells are quarantined)");
   const int jobs = cli.get_jobs();
+  const bool progress = cli.get_flag(
+      "progress", false,
+      "heartbeat line on stderr (completed/total, rate, eta, quarantines)");
   cli.finish();
   obs.set_config("fuzz-diff all-modes");
   obs.set_seed(base_seed);
@@ -191,6 +196,16 @@ int main(int argc, char** argv) {
         .count();
   };
 
+  // Heartbeat for the sweep: run_jobs grows the total as each pass is
+  // dispatched and ticks per completed cell; the recovery layer feeds
+  // quarantine counts. Uninstalled (and its line finished) before the
+  // table goes to stdout so the two streams never interleave confusingly.
+  std::unique_ptr<exec::ProgressMeter> meter;
+  if (progress) {
+    meter = std::make_unique<exec::ProgressMeter>("fuzz");
+    exec::set_progress_meter(meter.get());
+  }
+
   std::vector<std::uint64_t> per_cell_schedules(cells.size(), 0);
   std::vector<std::uint64_t> per_cell_divergences(cells.size(), 0);
   std::uint64_t total_schedules = 0;
@@ -234,7 +249,8 @@ int main(int argc, char** argv) {
                                    static_cast<std::size_t>(seeds);
           const std::size_t trial = static_cast<std::size_t>(i) %
                                     static_cast<std::size_t>(seeds);
-          DiffOutcome o = run_diff(make_spec(pass, cell, trial));
+          DiffOutcome o = run_diff(make_spec(pass, cell, trial), nullptr,
+                                   obs.attr());
           if (ledger.is_open() && (o.ok || o.aborted)) {
             std::lock_guard<std::mutex> lk(ledger_mu);
             ledger << (o.ok ? 'P' : 'Q') << ' ' << pass << ' ' << cell
@@ -284,6 +300,9 @@ int main(int argc, char** argv) {
     ++pass;
   } while (!have_failure && quarantined.empty() && budget > 0 &&
            elapsed_s() < budget);
+
+  exec::set_progress_meter(nullptr);
+  meter.reset();  // finishes the stderr line before stdout's table
 
   Table t("fuzz-diff — schedules per configuration");
   t.set_header({"config", "schedules", "divergences"});

@@ -1,24 +1,36 @@
 #!/usr/bin/env python3
-"""Run bench/perf_sim and emit/check a tracked benchmark document.
+"""Run bench/perf_sim and emit/check/compare tracked benchmark documents.
 
-Two jobs, both driven from the perf_sim JSON dump (capmem.perf_sim.v1):
+Three jobs, all driven from the perf_sim JSON dump (capmem.perf_sim.v1):
 
   * Emit: run perf_sim, optionally join a recorded baseline run, and write a
     tracked document (BENCH_PR4.json, BENCH_PR6.json, ... — tag it with
     --schema) with events/sec, ns/event, wall time and peak RSS per cell
-    plus per-cell speedup vs the baseline.
+    plus per-cell speedup vs the baseline. The emitted document is
+    validated against its own --schema tag before it is written: a missing
+    run section, empty workload rows, or a cell without the fields the
+    check/compare modes rely on is a loud failure, not a silent artifact.
 
   * Check (--expect FILE): compare the DETERMINISTIC part of the fresh run —
     steps and virt_ns per (workload, mode) cell — against the cells recorded
-    in FILE. Any mismatch exits nonzero. Timing is never compared: wall
-    clock, events/sec and RSS are informational and may move with the host.
-    This is the CI perf-smoke gate.
+    in FILE. Any mismatch exits 2. Timing is never compared: wall clock,
+    events/sec and RSS are informational and may move with the host. This
+    is the CI perf-smoke gate.
+
+  * Compare (--compare OLD NEW): the perf-trajectory sentinel. Reads two
+    emitted documents (no perf_sim run needed), prints a per-workload delta
+    table of events/sec, and exits 3 when any cell of NEW falls below
+    --min-ratio x its OLD throughput, or when OLD has a workload row that
+    NEW is missing. The default --min-ratio 0.2 tolerates shared-runner
+    noise while still catching order-of-magnitude trajectory collapses.
 
 Examples:
   python3 scripts/bench_json.py --perf-sim build/bench/perf_sim \
       --baseline BENCH_PR4.json --out BENCH_PR4.json
   python3 scripts/bench_json.py --perf-sim build/bench/perf_sim \
-      --quick --expect BENCH_PR4.json --out bench_smoke.json
+      --quick --expect BENCH_PR6.json --out bench_smoke.json
+  python3 scripts/bench_json.py --compare BENCH_PR6.json bench_smoke.json \
+      --quick --min-ratio 0.2
 """
 
 import argparse
@@ -93,9 +105,110 @@ def enrich(rows):
     return rows
 
 
+# Every emitted cell must carry the deterministic fields (--expect) and the
+# timing fields (--compare); a document missing them would silently pass
+# future gates by having nothing to gate on.
+REQUIRED_CELL_FIELDS = (
+    "workload", "mode", "threads", "steps", "virt_ns",
+    "events_per_sec", "best_wall_s", "ns_per_event",
+)
+
+
+def validate_doc(doc, schema, section):
+    """Validates an emitted document against its own schema tag; returns a
+    list of problem strings (empty when the document is well-formed)."""
+    problems = []
+    if doc.get("schema") != schema:
+        problems.append("schema tag %r != requested %r"
+                        % (doc.get("schema"), schema))
+    rows = doc.get(section, {}).get("results", [])
+    if not rows:
+        problems.append("section %r has no workload rows" % section)
+    seen = set()
+    for i, r in enumerate(rows):
+        for field in REQUIRED_CELL_FIELDS:
+            if field not in r:
+                problems.append("%s cell %d (%s/%s) missing field %r"
+                                % (section, i, r.get("workload", "?"),
+                                   r.get("mode", "?"), field))
+        key = (r.get("workload"), r.get("mode"))
+        if key in seen:
+            problems.append("%s has duplicate cell %s/%s" % ((section,) + key))
+        seen.add(key)
+    return problems
+
+
+def load_doc_cells(path, quick):
+    """Loads an emitted document and returns its cells, failing loudly on a
+    missing/empty workload section (a truncated artifact must not pass)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit("bench_json: cannot read %s: %s" % (path, e))
+    cells = cells_of(doc, quick=quick)
+    if not cells:
+        sys.exit("bench_json: %s has no %s workload rows"
+                 % (path, "quick_run" if quick else "run"))
+    return cells
+
+
+def compare_docs(old_path, new_path, min_ratio, quick):
+    """Perf-trajectory sentinel: per-workload events/sec delta table.
+    Returns the number of gate failures (regressions + missing rows)."""
+    old = load_doc_cells(old_path, quick)
+    new = load_doc_cells(new_path, quick)
+    rows = []
+    failures = 0
+    for key in sorted(set(old) | set(new)):
+        label = "%s/%s" % key
+        o, n = old.get(key), new.get(key)
+        if n is None:
+            rows.append((label, o.get("events_per_sec", 0.0), None, None,
+                         "MISSING in %s" % new_path))
+            failures += 1
+            continue
+        if o is None:
+            rows.append((label, None, n.get("events_per_sec", 0.0), None,
+                         "new workload"))
+            continue
+        o_eps = o.get("events_per_sec", 0.0)
+        n_eps = n.get("events_per_sec", 0.0)
+        if o_eps <= 0:
+            rows.append((label, o_eps, n_eps, None, "no old timing"))
+            continue
+        ratio = n_eps / o_eps
+        if ratio < min_ratio:
+            rows.append((label, o_eps, n_eps, ratio,
+                         "REGRESSION (< %.2fx)" % min_ratio))
+            failures += 1
+        else:
+            rows.append((label, o_eps, n_eps, ratio, "ok"))
+
+    def fmt(v, ratio=False):
+        if v is None:
+            return "-"
+        return "%.3f" % v if ratio else "%.0f" % v
+
+    header = ("workload", "old ev/s", "new ev/s", "ratio", "verdict")
+    table = [header] + [
+        (label, fmt(o_eps), fmt(n_eps), fmt(ratio, ratio=True), verdict)
+        for label, o_eps, n_eps, ratio, verdict in rows
+    ]
+    widths = [max(len(r[c]) for r in table) for c in range(len(header))]
+    for r in table:
+        print("  ".join(cell.ljust(w) for cell, w in zip(r, widths)).rstrip())
+    print("compare: %d cell(s), %d failure(s), floor %.2fx of %s"
+          % (len(rows), failures, min_ratio, old_path))
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--perf-sim", required=True, help="path to the binary")
+    ap.add_argument(
+        "--perf-sim", default=None,
+        help="path to the binary (required unless --compare)",
+    )
     ap.add_argument("--quick", action="store_true", help="reduced sizes")
     ap.add_argument("--reps", type=int, default=None)
     ap.add_argument("--out", default=None, help="write the document here")
@@ -118,6 +231,22 @@ def main():
         "match this run exactly; mismatch exits 2",
     )
     ap.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="perf-trajectory sentinel: delta table of events/sec between "
+        "two emitted documents; exits 3 when a NEW cell drops below "
+        "--min-ratio x OLD or an OLD workload row is missing from NEW",
+    )
+    ap.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.2,
+        help="--compare floor: NEW must keep at least this fraction of "
+        "OLD's events/sec per cell (default 0.2; CI timing is noisy)",
+    )
+    ap.add_argument(
         "--schema",
         default="capmem.bench_pr4.v1",
         help="schema tag stamped on the emitted document (e.g. "
@@ -127,6 +256,16 @@ def main():
         "extra", nargs="*", help="extra perf_sim args after '--'"
     )
     args = ap.parse_args()
+
+    if args.compare:
+        if args.min_ratio <= 0:
+            sys.exit("bench_json: --min-ratio must be positive")
+        failures = compare_docs(args.compare[0], args.compare[1],
+                                args.min_ratio, args.quick)
+        sys.exit(3 if failures else 0)
+
+    if not args.perf_sim:
+        sys.exit("bench_json: --perf-sim is required unless --compare")
 
     run = run_perf_sim(args.perf_sim, args.quick, args.reps, args.extra)
     enrich(run.get("results", []))
@@ -154,6 +293,14 @@ def main():
                     r["events_per_sec"] / b["events_per_sec"], 3
                 )
         doc["speedup_events_per_sec"] = speedup
+
+    problems = validate_doc(doc, args.schema, section)
+    if args.record_quick and not args.quick:
+        problems += validate_doc(doc, args.schema, "quick_run")
+    if problems:
+        for p in problems:
+            print("SCHEMA VIOLATION:", p, file=sys.stderr)
+        sys.exit("bench_json: emitted document fails self-validation")
 
     rc = 0
     if args.expect:

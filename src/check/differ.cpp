@@ -15,11 +15,12 @@ void mismatch(std::ostringstream& os, const char* what, int index,
 
 }  // namespace
 
-DiffOutcome run_diff(const WorkloadSpec& spec, obs::TraceSink* trace) {
+DiffOutcome run_diff(const WorkloadSpec& spec, obs::TraceSink* trace,
+                     obs::attr::Sink* attr) {
   DiffOutcome out;
   out.spec = spec;
   Checker checker(workload_config(spec));
-  const WorkloadResult r = run_workload(spec, &checker, trace);
+  const WorkloadResult r = run_workload(spec, &checker, trace, attr);
   out.violations = checker.violation_count();
   out.elapsed = r.elapsed;
 

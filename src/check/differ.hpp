@@ -30,9 +30,11 @@ struct DiffOutcome {
 
 /// Runs one schedule with full checking; see file comment for what counts
 /// as divergence. Optional `trace` feeds machine events and violation
-/// instants into a Chrome trace.
+/// instants into a Chrome trace; optional `attr` collects the machine's
+/// virtual-time attribution ledger (conservation-checked at merge).
 DiffOutcome run_diff(const WorkloadSpec& spec,
-                     obs::TraceSink* trace = nullptr);
+                     obs::TraceSink* trace = nullptr,
+                     obs::attr::Sink* attr = nullptr);
 
 /// Shrinks a diverging spec to a smaller one that still diverges: binary
 /// search for the shortest failing per-thread prefix, then halve the

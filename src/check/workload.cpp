@@ -100,7 +100,7 @@ sim::MachineConfig workload_config(const WorkloadSpec& spec) {
 }
 
 WorkloadResult run_workload(const WorkloadSpec& spec, Checker* checker,
-                            obs::TraceSink* trace) {
+                            obs::TraceSink* trace, obs::attr::Sink* attr) {
   using namespace capmem::sim;
   CAPMEM_CHECK(spec.threads >= 1 && spec.data_lines >= 1 &&
                spec.counter_lines >= 1);
@@ -116,6 +116,7 @@ WorkloadResult run_workload(const WorkloadSpec& spec, Checker* checker,
   CAPMEM_CHECK(spec.threads <= cfg.hw_threads());
   cfg.check = checker;
   cfg.trace = trace;
+  cfg.attr = attr;
   if (checker != nullptr) checker->set_trace(trace);
 
   const auto ops = generate_ops(spec);

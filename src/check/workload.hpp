@@ -29,6 +29,10 @@ namespace capmem::obs {
 class TraceSink;
 }  // namespace capmem::obs
 
+namespace capmem::obs::attr {
+class Sink;
+}  // namespace capmem::obs::attr
+
 namespace capmem::check {
 
 struct WorkloadSpec {
@@ -107,8 +111,10 @@ struct WorkloadResult {
 /// Builds the machine, runs the expanded schedule, and returns shadow +
 /// final memory. `checker` (nullable) is attached as MachineConfig::check
 /// and final-swept after the run; `trace` (nullable) receives the machine's
-/// trace events and the checker's violation instants.
+/// trace events and the checker's violation instants; `attr` (nullable)
+/// collects the machine's virtual-time attribution ledger.
 WorkloadResult run_workload(const WorkloadSpec& spec, Checker* checker,
-                            obs::TraceSink* trace = nullptr);
+                            obs::TraceSink* trace = nullptr,
+                            obs::attr::Sink* attr = nullptr);
 
 }  // namespace capmem::check

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "exec/progress.hpp"
 #include "obs/metrics.hpp"
 
 namespace capmem::exec {
@@ -151,6 +152,20 @@ void Pool::worker_loop() {
 
 std::vector<JobError> run_jobs_collect(
     std::vector<std::function<void()>>&& jobs, int nworkers) {
+  if (ProgressMeter* pm = progress_meter()) {
+    // The meter ticks when a job leaves its slot — including on a throw, so
+    // the heartbeat never undercounts a failing sweep.
+    pm->add_total(jobs.size());
+    for (auto& j : jobs) {
+      j = [job = std::move(j), pm] {
+        struct Tick {
+          ProgressMeter* p;
+          ~Tick() { p->tick(); }
+        } tick{pm};
+        job();
+      };
+    }
+  }
   obs::Registry* reg = obs::process_registry();
   if (reg == nullptr) return collect_raw(std::move(jobs), nworkers);
   return run_jobs_profiled(std::move(jobs), nworkers, *reg);

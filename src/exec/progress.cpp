@@ -1,0 +1,124 @@
+#include "exec/progress.hpp"
+
+#include <cstdio>
+
+namespace capmem::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Re-render at most every 100 ms: visible liveness without drowning slow
+// terminals (a sweep can finish thousands of jobs per second).
+constexpr auto kMinRedraw = std::chrono::milliseconds(100);
+
+ProgressMeter* g_meter = nullptr;
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total)
+    : label_(std::move(label)),
+      total_(total),
+      start_(Clock::now()),
+      last_show_(start_ - kMinRedraw) {}
+
+ProgressMeter::~ProgressMeter() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shown_) {
+    std::fprintf(stderr, "\r%s\n", render_locked().c_str());
+    std::fflush(stderr);
+  }
+}
+
+void ProgressMeter::add_total(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (n == 0) return;
+  total_ += n;
+  show_locked();
+}
+
+void ProgressMeter::tick(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  done_ += n;
+  const auto now = Clock::now();
+  if (now - last_show_ < kMinRedraw) return;
+  last_show_ = now;
+  show_locked();
+}
+
+void ProgressMeter::note_quarantined(std::uint64_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (n == 0) return;
+  quarantined_ += n;
+  show_locked();
+}
+
+std::uint64_t ProgressMeter::completed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return done_;
+}
+
+std::uint64_t ProgressMeter::total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+std::uint64_t ProgressMeter::quarantined() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quarantined_;
+}
+
+std::string ProgressMeter::line() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return render_locked();
+}
+
+std::string ProgressMeter::render_locked() const {
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  const double rate = secs > 0 ? static_cast<double>(done_) / secs : 0.0;
+  char buf[160];
+  if (total_ > 0) {
+    int n = std::snprintf(buf, sizeof(buf), "%s  %llu/%llu jobs  %.1f/s",
+                          label_.c_str(),
+                          static_cast<unsigned long long>(done_),
+                          static_cast<unsigned long long>(total_), rate);
+    if (rate > 0 && done_ < total_) {
+      const double eta = static_cast<double>(total_ - done_) / rate;
+      n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                         "  eta %.0fs", eta);
+    }
+    if (quarantined_ > 0) {
+      std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                    "  quarantined %llu",
+                    static_cast<unsigned long long>(quarantined_));
+    }
+  } else {
+    int n = std::snprintf(buf, sizeof(buf), "%s  %llu jobs  %.1f/s",
+                          label_.c_str(),
+                          static_cast<unsigned long long>(done_), rate);
+    if (quarantined_ > 0) {
+      std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                    "  quarantined %llu",
+                    static_cast<unsigned long long>(quarantined_));
+    }
+  }
+  return buf;
+}
+
+void ProgressMeter::show_locked() {
+  // Left-justified fixed width wipes leftovers of a previously longer line.
+  std::fprintf(stderr, "\r%-78s", render_locked().c_str());
+  std::fflush(stderr);
+  shown_ = true;
+}
+
+ProgressMeter* progress_meter() { return g_meter; }
+
+ProgressMeter* set_progress_meter(ProgressMeter* m) {
+  ProgressMeter* prev = g_meter;
+  g_meter = m;
+  return prev;
+}
+
+}  // namespace capmem::exec

@@ -7,6 +7,7 @@
 #include <system_error>
 #include <thread>
 
+#include "exec/progress.hpp"
 #include "obs/metrics.hpp"
 
 namespace capmem::exec {
@@ -139,6 +140,9 @@ BatchReport run_jobs_recover(std::vector<std::function<void()>>&& jobs,
     rep.failures.push_back(std::move(f));
   }
 
+  if (ProgressMeter* pm = progress_meter()) {
+    pm->note_quarantined(rep.quarantined);
+  }
   if (obs::Registry* reg = obs::process_registry()) {
     reg->add("exec.jobs_ok", static_cast<double>(rep.ok));
     reg->add("exec.jobs_failed", static_cast<double>(rep.failed));

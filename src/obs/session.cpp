@@ -16,6 +16,10 @@ Session::Session(Cli& cli, int argc, const char* const* argv) {
       "noc, channel, all");
   metrics_path_ = cli.get_string(
       "metrics-out", "", "write component metrics as JSON here");
+  attr_path_ = cli.get_string(
+      "attr-out", "",
+      "write the virtual-time attribution report (per-category time/traffic "
+      "ledger, critical path, model cross-validation) as JSON here");
   manifest_path_ = cli.get_string(
       "manifest-out", "", "write the run manifest as JSON here");
   cli.get_log_level();
@@ -29,6 +33,7 @@ Session::Session(Cli& cli, int argc, const char* const* argv) {
         trace_out, parse_categories(trace_events));
   }
   metrics_enabled_ = !metrics_path_.empty();
+  if (!attr_path_.empty()) attr_ = std::make_unique<attr::Sink>();
   const bool want_manifest = metrics_enabled_ || !manifest_path_.empty();
   if (want_manifest) manifest_.git = git_describe();
   if (metrics_enabled_) set_process_registry(&registry_);
@@ -47,6 +52,8 @@ TraceSink* Session::trace() { return trace_.get(); }
 Registry* Session::metrics() {
   return metrics_enabled_ ? &registry_ : nullptr;
 }
+
+attr::Sink* Session::attr() { return attr_.get(); }
 
 void Session::close_phase() {
   if (open_phase_.empty()) return;
@@ -81,6 +88,12 @@ void Session::finish() {
     os << ",\n\"metrics\": ";
     registry_.dump_json(os);
     os << "}\n";
+  }
+  if (attr_ != nullptr) {
+    std::ofstream os(attr_path_);
+    CAPMEM_CHECK_MSG(os.good(),
+                     "cannot open attribution file '" << attr_path_ << "'");
+    attr_->dump_json(os);
   }
   if (!manifest_path_.empty()) {
     std::ofstream os(manifest_path_);

@@ -24,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/attr.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -50,9 +51,14 @@ class Session {
   /// --metrics-out. While non-null it is also installed as the process
   /// registry so exec::run_jobs records host-side profiling into it.
   Registry* metrics();
+  /// Attribution sink for MachineConfig::attr; null without --attr-out.
+  /// Thread-safe: Machines running on exec::Pool workers merge into it.
+  attr::Sink* attr();
 
   /// True when any output flag was given.
-  bool enabled() const { return trace_ != nullptr || metrics_enabled_; }
+  bool enabled() const {
+    return trace_ != nullptr || metrics_enabled_ || attr_ != nullptr;
+  }
 
   /// Manifest annotations (config label, base seed, host jobs).
   void set_config(const std::string& config) { manifest_.config = config; }
@@ -75,6 +81,8 @@ class Session {
 
   std::unique_ptr<ChromeTraceWriter> trace_;
   Registry registry_;
+  std::unique_ptr<attr::Sink> attr_;
+  std::string attr_path_;
   bool metrics_enabled_ = false;
   std::string metrics_path_;
   std::string manifest_path_;

@@ -23,6 +23,7 @@ const char* to_string(EventKind k) {
     case EventKind::kCheckViolation: return "check-violation";
     case EventKind::kFaultRetry: return "fault-retry";
     case EventKind::kAbort: return "abort";
+    case EventKind::kCritEdge: return "crit-edge";
   }
   return "?";
 }
@@ -42,6 +43,7 @@ unsigned category_of(EventKind k) {
     case EventKind::kCheckViolation: return kCatCheck;
     case EventKind::kFaultRetry:
     case EventKind::kAbort: return kCatFault;
+    case EventKind::kCritEdge: return kCatTask;
   }
   return kCatTask;
 }
@@ -244,6 +246,23 @@ void ChromeTraceWriter::on_event(const TraceEvent& e) {
                     e.tid);
       s += buf;
       break;
+    case EventKind::kCritEdge: {
+      // One flow-event pair per critical-path link: an "s" record on the
+      // predecessor's task track and a matching "f" on the waiter's, sharing
+      // the link ordinal as flow id. Perfetto draws them as arrows.
+      append_common(s, e.label != nullptr ? e.label : "crit", "task", 's',
+                    kPidTasks, e.a, e.t);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"id\":%d,\"args\":{\"line\":%" PRIu64 "}}", e.b,
+                    e.line);
+      s += buf;
+      s += ",\n";
+      append_common(s, e.label != nullptr ? e.label : "crit", "task", 'f',
+                    kPidTasks, e.tid, e.t);
+      std::snprintf(buf, sizeof(buf), ",\"bp\":\"e\",\"id\":%d}", e.b);
+      s += buf;
+      break;
+    }
   }
   std::lock_guard<std::mutex> lk(mu_);
   if (closed_) return;

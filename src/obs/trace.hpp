@@ -35,6 +35,8 @@ enum class EventKind : std::uint8_t {
   kCheckViolation,  ///< capmem::check divergence; label = checker message
   kFaultRetry,   ///< fault-injection retry; label = fault site, a = retries
   kAbort,        ///< engine SimAbort; tid = stuck task, label = abort kind
+  kCritEdge,     ///< critical-path dependency; tid = waiter, a = predecessor,
+                 ///<   b = link ordinal (flow id), label = "wake" / "sync"
 };
 
 const char* to_string(EventKind k);

@@ -21,6 +21,10 @@ class TraceSink;
 class Registry;
 }  // namespace capmem::obs
 
+namespace capmem::obs::attr {
+class Sink;
+}  // namespace capmem::obs::attr
+
 namespace capmem::fault {
 struct FaultPlan;
 }  // namespace capmem::fault
@@ -224,6 +228,14 @@ struct MachineConfig {
   /// transition and home-CHA resolution. Same contract as the observability
   /// sinks — null by default, never steers, single-branch disabled path.
   CheckHook* check = nullptr;
+  /// Attribution aggregator (capmem::obs::attr): when set, the Machine owns
+  /// a per-run Ledger that charges every simulated nanosecond to a
+  /// (category, tile) cell and every message to a traffic counter, then
+  /// merges it here at the end of run() — where the exact conservation
+  /// invariant (sum of cells == sum of task lifetimes, in integer
+  /// picosecond ticks) is enforced. Same observer contract as trace/
+  /// metrics: null by default, never steers, single-branch disabled path.
+  obs::attr::Sink* attr = nullptr;
   /// Fault-injection plan (capmem::fault): deterministic degraded-silicon
   /// penalties on mesh paths, channels and directory lines. Unlike the
   /// observer hooks it *does* change virtual-time results when attached —

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/attr.hpp"
 #include "obs/trace.hpp"
 
 namespace capmem::sim {
@@ -34,13 +35,22 @@ void emit_sync_release(obs::TraceSink* sink, Nanos t, int arrivals) {
 
 void Advance::await_suspend(Task::Handle h) const {
   CAPMEM_DCHECK(dt >= 0);
-  h.promise().clock += dt;
-  h.promise().engine->requeue(h);
+  auto& p = h.promise();
+  const Nanos from = p.clock;
+  p.clock += dt;
+  if (obs::attr::Ledger* a = p.engine->attr()) {
+    a->charge(p.tid, obs::attr::TimeCat::kCompute, from, p.clock);
+  }
+  p.engine->requeue(h);
 }
 
 void AdvanceTo::await_suspend(Task::Handle h) const {
   auto& p = h.promise();
+  const Nanos from = p.clock;
   p.clock = std::max(p.clock, t);
+  if (obs::attr::Ledger* a = p.engine->attr()) {
+    a->charge(p.tid, obs::attr::TimeCat::kTimerWait, from, p.clock);
+  }
   p.engine->requeue(h);
 }
 
@@ -67,6 +77,7 @@ int Engine::spawn(Task task, Nanos start) {
   tasks_.push_back(h);
   run_q_.push(start, task_payload(h));
   ++live_;
+  if (attr_) attr_->on_spawn(tid, start);
   return tid;
 }
 
@@ -108,7 +119,7 @@ void Engine::park(std::uint64_t key, Task::Handle h,
   }
 }
 
-void Engine::notify(std::uint64_t key, Nanos visible) {
+void Engine::notify(std::uint64_t key, Nanos visible, int writer_tid) {
   // Every store notifies its line, but almost all lines never have a waiter:
   // one branch against the presence filter skips the table probe entirely.
   if ((park_filter_ & filter_bit(key)) == 0) return;
@@ -122,6 +133,10 @@ void Engine::notify(std::uint64_t key, Nanos visible) {
         emit_task_event(trace_, obs::EventKind::kTaskUnpark,
                         (*waiters)[i].parked_at, h.promise().tid, key,
                         h.promise().clock - (*waiters)[i].parked_at);
+      }
+      if (attr_) {
+        attr_->on_wake_edge(h.promise().tid, writer_tid, key,
+                            h.promise().clock);
       }
       requeue(h);
       waiters->erase(i);  // ordered erase: wakeups stay FIFO within a key
@@ -142,9 +157,20 @@ void Engine::notify(std::uint64_t key, Nanos visible) {
 void Engine::release_sync() {
   // All live tasks arrived: align clocks to the maximum and release.
   Nanos tmax = 0;
-  for (Task::Handle w : sync_q_) tmax = std::max(tmax, w.promise().clock);
+  int last_tid = -1;  // the barrier's last arriver: everyone's predecessor
   for (Task::Handle w : sync_q_) {
-    w.promise().clock = tmax;
+    if (last_tid < 0 || w.promise().clock > tmax) {
+      last_tid = w.promise().tid;
+    }
+    tmax = std::max(tmax, w.promise().clock);
+  }
+  for (Task::Handle w : sync_q_) {
+    auto& p = w.promise();
+    if (attr_) {
+      attr_->charge(p.tid, obs::attr::TimeCat::kBarrierWait, p.clock, tmax);
+      attr_->on_sync_edge(p.tid, last_tid, tmax);
+    }
+    p.clock = tmax;
     requeue(w);
   }
   if (trace_) {

@@ -31,6 +31,10 @@ namespace capmem::obs {
 class TraceSink;
 }  // namespace capmem::obs
 
+namespace capmem::obs::attr {
+class Ledger;
+}  // namespace capmem::obs::attr
+
 namespace capmem::sim {
 
 class Engine;
@@ -146,6 +150,13 @@ class Engine {
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
   obs::TraceSink* trace() const { return trace_; }
 
+  /// Attaches the attribution ledger (null to detach). The engine charges
+  /// scheduler-owned clock mutations (compute advance, timer wait, barrier
+  /// wait) and records wake/sync predecessor edges; like trace sinks, the
+  /// ledger observes and never steers.
+  void set_attr(obs::attr::Ledger* ledger) { attr_ = ledger; }
+  obs::attr::Ledger* attr() const { return attr_; }
+
   int live_tasks() const { return live_; }
   int total_tasks() const { return static_cast<int>(tasks_.size()); }
   std::uint64_t steps() const { return steps_; }
@@ -181,7 +192,9 @@ class Engine {
             std::function<bool(Nanos visible)> try_wake);
 
   /// Notifies waiters of a store to `key` becoming visible at `visible`.
-  void notify(std::uint64_t key, Nanos visible);
+  /// `writer_tid` names the storing task for critical-path edges (< 0:
+  /// unknown writer; no edge is recorded).
+  void notify(std::uint64_t key, Nanos visible, int writer_tid = -1);
 
   /// Barrier arrival (SyncPoint awaiter).
   void sync_arrive(Task::Handle h);
@@ -230,6 +243,7 @@ class Engine {
   int live_ = 0;
   bool running_ = false;
   obs::TraceSink* trace_ = nullptr;
+  obs::attr::Ledger* attr_ = nullptr;
   WatchdogBudget wd_;
   bool wd_armed_ = false;
 };

@@ -12,9 +12,13 @@ namespace detail {
 void LineOp::await_suspend(Task::Handle h) {
   auto& p = h.promise();
   const Allocation& al = m->allocation_of(addr);
+  const Nanos from = p.clock;
   out = m->memsys().access(ctx->tid(), ctx->core(), line_of(addr), al.place,
                        type, opts, p.clock);
   p.clock = out.finish;
+  if (obs::attr::Ledger* led = m->attr()) {
+    led->charge(ctx->tid(), attr_cat(out.level), from, p.clock);
+  }
   if (is_u64) {
     if (is_rmw) {
       loaded = m->space().load<std::uint64_t>(addr);
@@ -26,7 +30,7 @@ void LineOp::await_suspend(Task::Handle h) {
     }
   }
   if (type == AccessType::kWrite) {
-    m->engine().notify(line_of(addr), out.finish);
+    m->engine().notify(line_of(addr), out.finish, ctx->tid());
   }
   p.engine->requeue(h);
 }
@@ -41,6 +45,18 @@ void range_step(RangeOp& op, Task::Handle h) {
   Machine& m = *op.m;
   const int tid = op.ctx->tid();
   const int core = op.ctx->core();
+  obs::attr::Ledger* const led = m.attr();
+
+  // One timed line access: advance the task clock and, with the ledger
+  // attached, charge the interval to the serving level's category.
+  const auto timed = [&](Addr a, const Placement& place, AccessType t,
+                         const AccessOpts& ao) {
+    const Nanos from = p.clock;
+    const AccessResult r =
+        m.memsys().access(tid, core, line_of(a), place, t, ao, p.clock);
+    p.clock = r.finish;
+    if (led != nullptr) led->charge(tid, attr_cat(r.level), from, p.clock);
+  };
 
   AccessOpts read_opts;
   read_opts.vector = op.opts.vector;
@@ -60,41 +76,29 @@ void range_step(RangeOp& op, Task::Handle h) {
     switch (op.kind) {
       case RangeOp::Kind::kRead: {
         const Allocation& al = m.allocation_of(op.a);
-        p.clock = m.memsys()
-                      .access(tid, core, line_of(op.a + off), al.place,
-                              AccessType::kRead, read_opts, p.clock)
-                      .finish;
+        timed(op.a + off, al.place, AccessType::kRead, read_opts);
         break;
       }
       case RangeOp::Kind::kWrite: {
         const Allocation& al = m.allocation_of(op.a);
-        p.clock = m.memsys()
-                      .access(tid, core, line_of(op.a + off), al.place,
-                              AccessType::kWrite, write_opts, p.clock)
-                      .finish;
-        m.engine().notify(line_of(op.a + off), p.clock);
+        timed(op.a + off, al.place, AccessType::kWrite, write_opts);
+        m.engine().notify(line_of(op.a + off), p.clock, tid);
         break;
       }
       case RangeOp::Kind::kCopy: {
         const Allocation& src = m.allocation_of(op.b);
         AccessOpts ro = read_opts;
         ro.copy_pair = true;
-        p.clock = m.memsys()
-                      .access(tid, core, line_of(op.b + off), src.place,
-                              AccessType::kRead, ro, p.clock)
-                      .finish;
+        timed(op.b + off, src.place, AccessType::kRead, ro);
         const Allocation& dst = m.allocation_of(op.a);
-        p.clock = m.memsys()
-                      .access(tid, core, line_of(op.a + off), dst.place,
-                              AccessType::kWrite, write_opts, p.clock)
-                      .finish;
+        timed(op.a + off, dst.place, AccessType::kWrite, write_opts);
         if (op.move_data && src.has_data && dst.has_data) {
           const std::uint64_t n = std::min<std::uint64_t>(
               kLineBytes, op.bytes - (op.done_lines + i) * kLineBytes);
           std::memcpy(m.space().data(op.a + off, n),
                       m.space().data(op.b + off, n), n);
         }
-        m.engine().notify(line_of(op.a + off), p.clock);
+        m.engine().notify(line_of(op.a + off), p.clock, tid);
         break;
       }
       case RangeOp::Kind::kTriad: {
@@ -103,19 +107,10 @@ void range_step(RangeOp& op, Task::Handle h) {
         const Allocation& a = m.allocation_of(op.a);
         AccessOpts ro = read_opts;
         ro.copy_pair = true;
-        p.clock = m.memsys()
-                      .access(tid, core, line_of(op.b + off), b.place,
-                              AccessType::kRead, ro, p.clock)
-                      .finish;
-        p.clock = m.memsys()
-                      .access(tid, core, line_of(op.c + off), c.place,
-                              AccessType::kRead, ro, p.clock)
-                      .finish;
-        p.clock = m.memsys()
-                      .access(tid, core, line_of(op.a + off), a.place,
-                              AccessType::kWrite, write_opts, p.clock)
-                      .finish;
-        m.engine().notify(line_of(op.a + off), p.clock);
+        timed(op.b + off, b.place, AccessType::kRead, ro);
+        timed(op.c + off, c.place, AccessType::kRead, ro);
+        timed(op.a + off, a.place, AccessType::kWrite, write_opts);
+        m.engine().notify(line_of(op.a + off), p.clock, tid);
         break;
       }
     }
@@ -153,10 +148,17 @@ bool WaitU64::probe(Task::Handle h, Nanos at) {
   AccessOpts o;
   o.polling = true;
   const Allocation& al = m->allocation_of(addr);
+  const Nanos parked_from = h.promise().clock;
   const AccessResult r = m->memsys().access(ctx->tid(), ctx->core(),
                                         line_of(addr), al.place,
                                         AccessType::kRead, o, at);
   h.promise().clock = r.finish;
+  if (obs::attr::Ledger* led = m->attr()) {
+    // The interval up to the wake probe is time parked on the line; the
+    // probe itself is a polling read charged at its serving level.
+    led->charge(ctx->tid(), obs::attr::TimeCat::kParkWait, parked_from, at);
+    led->charge(ctx->tid(), attr_cat(r.level), at, r.finish);
+  }
   seen = m->space().load<std::uint64_t>(addr);
   return matches(seen);
 }
@@ -294,6 +296,12 @@ Machine::Machine(MachineConfig cfg)
   cfg_.validate();
   engine_.set_trace(cfg_.trace);
   engine_.set_watchdog(cfg_.watchdog);
+  if (cfg_.attr != nullptr) {
+    attr_ledger_ =
+        std::make_unique<obs::attr::Ledger>(cfg_.active_tiles);
+    engine_.set_attr(attr_ledger_.get());
+    mem_.set_attr(attr_ledger_.get());
+  }
   Rng skew_rng(cfg_.seed ^ 0x75c5u);
   tsc_skew_.resize(static_cast<std::size_t>(cfg_.cores()));
   for (auto& s : tsc_skew_) {
@@ -332,8 +340,12 @@ void Machine::run() {
     Task t = programs_[i](ctx);
     const int tid = engine_.spawn(std::move(t));
     ctx.tid_ = tid;
+    if (attr_ledger_) {
+      attr_ledger_->set_task_tile(tid, topo_.tile_of_core(ctx.slot_.core));
+    }
   }
   engine_.run();
+  if (attr_ledger_) flush_attr();
   if (cfg_.metrics != nullptr) {
     mem_.flush_metrics(engine_.now());
     // Park-table health: keys must drain to zero on a clean run, and the
@@ -343,6 +355,53 @@ void Machine::run() {
                       static_cast<double>(engine_.parked_keys()));
     cfg_.metrics->set("sim.engine.park.pool_slots",
                       static_cast<double>(engine_.parked_pool_slots()));
+  }
+}
+
+void Machine::flush_attr() {
+  obs::attr::Ledger& led = *attr_ledger_;
+  led.set_channel_busy(mem_.dram_busy_ns(), mem_.mcdram_busy_ns());
+  led.finalize(engine_.now());
+  if (cfg_.metrics != nullptr) {
+    obs::Registry& reg = *cfg_.metrics;
+    for (int c = 0; c < static_cast<int>(obs::attr::TimeCat::kCount); ++c) {
+      const auto cat = static_cast<obs::attr::TimeCat>(c);
+      const obs::attr::Ticks t = led.total(cat);
+      if (t == 0) continue;
+      reg.add(std::string("attr.time.") + obs::attr::to_string(cat) + "_ns",
+              obs::attr::to_ns(t));
+    }
+    reg.add("attr.total_ns", obs::attr::to_ns(led.total_all()));
+    reg.add("attr.unattributed_ns", obs::attr::to_ns(led.unattributed()));
+    reg.add("attr.mesh.hops_vertical",
+            static_cast<double>(led.hops_vertical()));
+    reg.add("attr.mesh.hops_horizontal",
+            static_cast<double>(led.hops_horizontal()));
+    reg.add("attr.dir.lookups", static_cast<double>(led.dir_lookups_total()));
+  }
+  if (cfg_.trace != nullptr) {
+    const std::vector<obs::attr::PathLink> path = led.critical_path();
+    int ordinal = 0;
+    for (const obs::attr::PathLink& l : path) {
+      if (l.pred < 0) continue;
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kCritEdge;
+      e.t = l.t;
+      e.dur = l.dur;
+      e.tid = l.tid;
+      e.tile = l.tile;
+      e.line = l.key;
+      e.a = l.pred;
+      e.b = ordinal++;
+      e.label = l.kind;
+      cfg_.trace->on_event(e);
+    }
+  }
+  if (cfg_.attr != nullptr) {
+    const std::string label = cfg_.name + "/" + to_string(cfg_.cluster) +
+                              "/" + to_string(cfg_.memory) + "/" +
+                              to_string(cfg_.protocol);
+    cfg_.attr->merge(led, label);
   }
 }
 

@@ -17,10 +17,12 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/attr.hpp"
 #include "sim/address.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
@@ -266,11 +268,22 @@ class Machine {
   /// Busy time of one tile's L2 supply port (cache-to-cache source side).
   Nanos l2_supply_busy(int tile) const { return mem_.l2_supply_busy(tile); }
 
+  /// The per-run attribution ledger (null unless MachineConfig::attr is
+  /// set). Owned by the Machine; finalized and merged into cfg.attr at the
+  /// end of run().
+  obs::attr::Ledger* attr() const { return attr_ledger_.get(); }
+
  private:
   friend class Ctx;
   friend struct detail::LineOp;
   friend struct detail::RangeOp;
   friend struct detail::WaitU64;
+
+  /// Post-run attribution epilogue: feeds channel busy time, finalizes the
+  /// ledger (conservation becomes checkable), rolls per-category totals into
+  /// cfg_.metrics, emits critical-path flow events into cfg_.trace, and
+  /// merges into the shared cfg_.attr sink.
+  void flush_attr();
 
   MachineConfig cfg_;
   Topology topo_;
@@ -280,6 +293,7 @@ class Machine {
   std::deque<Ctx> ctxs_;
   std::vector<Program> programs_;
   std::vector<Nanos> tsc_skew_;
+  std::unique_ptr<obs::attr::Ledger> attr_ledger_;
   const Allocation* last_alloc_ = nullptr;
   bool ran_ = false;
 };

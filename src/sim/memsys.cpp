@@ -362,7 +362,10 @@ AccessResult MemSystem::memory_access(int tid, int core, Line line,
   const auto& lt = cfg_->lat;
   const int legs = mesh_legs(req_tile, target.home_tile, target.mem_stop);
   const Nanos path = lt.hop * legs;
-  if (obs_on_) note_hops(tid, core, legs, now);
+  if (obs_on_) {
+    note_hops(tid, core, legs, now, req_tile, target.home_tile,
+              target.mem_stop);
+  }
   const Nanos fpen =
       fault_mesh_.empty()
           ? 0
@@ -487,6 +490,9 @@ void MemSystem::note_check_access(int tid, int core, Line line,
 
 void MemSystem::note_access(int tid, int core, Line line, AccessType type,
                             const AccessResult& res, Nanos now) {
+  if (attr_ != nullptr) {
+    attr_->count_access(topo_->tile_of_core(core), attr_cat(res.level));
+  }
   if (trace_ != nullptr) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kLineAccess;
@@ -524,6 +530,9 @@ void MemSystem::note_dir_lookup(int tid, Line line, int home_tile, Nanos now,
                                 Nanos svc_start, Nanos service) {
   dir_requests_[static_cast<std::size_t>(home_tile)]++;
   cha_queue_.record(svc_start - now);
+  if (attr_ != nullptr) {
+    attr_->add_dir_lookup(home_tile, svc_start - now, service);
+  }
   if (trace_ != nullptr) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kDirLookup;
@@ -537,8 +546,21 @@ void MemSystem::note_dir_lookup(int tid, Line line, int home_tile, Nanos now,
   }
 }
 
-void MemSystem::note_hops(int tid, int core, int legs, Nanos now) {
+void MemSystem::note_hops(int tid, int core, int legs, Nanos now,
+                          int req_tile, int home_tile, Coord far_stop) {
   noc_hops_total_ += static_cast<std::uint64_t>(legs);
+  if (attr_ != nullptr) {
+    // Split the request triangle's Manhattan hops by ring direction
+    // (KNL's mesh routes Y-then-X; |dr| legs ride the vertical rings).
+    const Coord rq = topo_->tile_coord(req_tile);
+    const Coord hm = topo_->tile_coord(home_tile);
+    const auto d = [](int a, int b) { return a > b ? a - b : b - a; };
+    const int vertical = d(hm.row, rq.row) + d(far_stop.row, hm.row) +
+                         d(rq.row, far_stop.row);
+    const int horizontal = d(hm.col, rq.col) + d(far_stop.col, hm.col) +
+                           d(rq.col, far_stop.col);
+    attr_->add_hops(req_tile, vertical, horizontal);
+  }
   if (trace_ != nullptr) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kNocHops;
@@ -553,6 +575,10 @@ void MemSystem::note_hops(int tid, int core, int legs, Nanos now) {
 void MemSystem::note_coherence(int tid, int core, int tile, Line line,
                                TileState from, TileState to, Nanos now,
                                const char* label) {
+  if (attr_ != nullptr) {
+    attr_->add_transition(static_cast<int>(from), static_cast<int>(to),
+                          label);
+  }
   if (trace_ == nullptr) return;
   obs::TraceEvent e;
   e.kind = obs::EventKind::kCoherence;
@@ -738,7 +764,8 @@ AccessResult MemSystem::access_impl_p(int tid, int core, Line line,
       res.level = Level::kRemoteL2;
       const int legs = mesh_legs_tiles(tile, target.home_tile, e.owner);
       if (obs_on_) {
-        note_hops(tid, core, legs, now);
+        note_hops(tid, core, legs, now, tile, target.home_tile,
+                  topo_->tile_coord(e.owner));
         if constexpr (P::kDirtyShared) {
           // MOSI: the owner keeps the dirty line and moves to O.
           note_coherence(tid, core, e.owner, line, res.prior, TileState::kO,
@@ -812,7 +839,10 @@ AccessResult MemSystem::access_impl_p(int tid, int core, Line line,
           res.level = Level::kRemoteL2;
           const int legs = mesh_legs_tiles(tile, target.home_tile,
                                            e.forward);
-          if (obs_on_) note_hops(tid, core, legs, now);
+          if (obs_on_) {
+            note_hops(tid, core, legs, now, tile, target.home_tile,
+                      topo_->tile_coord(e.forward));
+          }
           Nanos cost;
           if (opts.streaming) {
             cost = stream_issue_cost(Level::kRemoteL2, res.prior, type,
@@ -937,7 +967,10 @@ AccessResult MemSystem::access_impl_p(int tid, int core, Line line,
       res.prior = e.dirty ? TileState::kM : TileState::kE;
     }
     const int legs = mesh_legs_tiles(tile, target.home_tile, e.owner);
-    if (obs_on_) note_hops(tid, core, legs, now);
+    if (obs_on_) {
+      note_hops(tid, core, legs, now, tile, target.home_tile,
+                topo_->tile_coord(e.owner));
+    }
     const int src = e.owner;
     Nanos cost;
     if (opts.streaming) {
@@ -965,7 +998,10 @@ AccessResult MemSystem::access_impl_p(int tid, int core, Line line,
                     : (e.forward >= 0 ? TileState::kF : TileState::kS);
     const int far = e.forward >= 0 ? e.forward : tile;
     const int legs = mesh_legs_tiles(tile, target.home_tile, far);
-    if (obs_on_) note_hops(tid, core, legs, now);
+    if (obs_on_) {
+      note_hops(tid, core, legs, now, tile, target.home_tile,
+                topo_->tile_coord(far));
+    }
     Nanos cost;
     if (opts.streaming) {
       cost = stream_issue_cost(Level::kRemoteL2, TileState::kS, type, opts);

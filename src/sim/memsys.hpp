@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/attr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/address.hpp"
@@ -59,6 +60,21 @@ struct AccessResult {
   Level level = Level::kL1;
   TileState prior = TileState::kI;  ///< state at the serving location
 };
+
+/// Attribution category of the level that served an access (the time a
+/// task spends in the access is charged there by the Machine awaiters).
+inline obs::attr::TimeCat attr_cat(Level level) {
+  switch (level) {
+    case Level::kL1: return obs::attr::TimeCat::kL1;
+    case Level::kL2Tile: return obs::attr::TimeCat::kL2Tile;
+    case Level::kRemoteL2: return obs::attr::TimeCat::kRemoteL2;
+    case Level::kDram: return obs::attr::TimeCat::kDram;
+    case Level::kMcdram: return obs::attr::TimeCat::kMcdram;
+    case Level::kMcdramCacheHit: return obs::attr::TimeCat::kMcCacheHit;
+    case Level::kMcdramCacheMiss: return obs::attr::TimeCat::kMcCacheMiss;
+  }
+  return obs::attr::TimeCat::kUnattributed;
+}
 
 /// Per-thread event counters (exposed through Machine for tests and the
 /// efficiency analyses).
@@ -147,6 +163,17 @@ class MemSystem {
 
   int tile_of_core(int core) const { return topo_->tile_of_core(core); }
 
+  /// Attaches the attribution ledger (null to detach). The memory system
+  /// feeds traffic counters (per-level access counts, directional mesh
+  /// hops, CHA lookups, coherence transitions); time is charged by the
+  /// Machine awaiters that own the task clocks. Must be called before the
+  /// first access.
+  void set_attr(obs::attr::Ledger* ledger) {
+    attr_ = ledger;
+    obs_on_ = obs_on_ || attr_ != nullptr;
+    tapped_ = tapped_ || attr_ != nullptr;
+  }
+
  private:
   // Cost helpers. `legs` is the mesh path length in hops.
   Nanos jitter(Nanos v, bool allow_spike = true);
@@ -193,7 +220,11 @@ class MemSystem {
                    const AccessResult& res, Nanos now);
   void note_dir_lookup(int tid, Line line, int home_tile, Nanos now,
                        Nanos svc_start, Nanos service);
-  void note_hops(int tid, int core, int legs, Nanos now);
+  /// `req_tile` -> `home_tile` -> `far_stop` -> `req_tile` is the request
+  /// path whose hop count is `legs`; the endpoints let the attribution
+  /// ledger split the hops by ring direction (vertical/horizontal).
+  void note_hops(int tid, int core, int legs, Nanos now, int req_tile,
+                 int home_tile, Coord far_stop);
   void note_coherence(int tid, int core, int tile, Line line, TileState from,
                       TileState to, Nanos now, const char* label);
 
@@ -232,6 +263,7 @@ class MemSystem {
   // merges them into the shared registry once per run.
   obs::TraceSink* trace_ = nullptr;
   obs::Registry* metrics_ = nullptr;
+  obs::attr::Ledger* attr_ = nullptr;
   CheckHook* check_ = nullptr;
   bool obs_on_ = false;
   bool tapped_ = false;  ///< obs_on_ || check_ attached (hot-path gate)
